@@ -1,0 +1,86 @@
+// Ablation — component knock-out study (DESIGN.md): the full system
+// versus NetMaster with prediction, duty cycling, or special-app
+// tracking disabled, quantifying each component's contribution to
+// energy saving and user experience.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "eval/experiments.hpp"
+#include "policy/baseline.hpp"
+#include "policy/netmaster.hpp"
+#include "sim/accounting.hpp"
+#include "synth/presets.hpp"
+
+namespace {
+
+using namespace netmaster;
+
+void print_figure() {
+  bench::banner("Ablation — NetMaster component knock-outs",
+                "each component's contribution to saving / UX");
+  eval::ExperimentConfig cfg;
+  cfg.seed = bench::kDefaultSeed;
+  const auto rows =
+      eval::ablation_study(synth::volunteer_population(), cfg);
+
+  eval::Table t({"variant", "energy saving", "affected users",
+                 "mean deferral (s)", "duty wake-ups"});
+  for (const auto& row : rows) {
+    t.add_row({row.variant, eval::Table::pct(row.energy_saving),
+               eval::Table::pct(row.affected_fraction, 2),
+               eval::Table::num(row.mean_deferral_latency_s, 1),
+               eval::Table::num(row.wake_count, 0)});
+  }
+  t.print(std::cout);
+  std::cout << "expectation: disabling prediction pushes everything "
+               "through the duty path (higher latency); disabling the "
+               "duty cycle strands unpredicted transfers; disabling "
+               "special apps raises interrupts\n";
+
+  // ε sensitivity end to end (the paper fixes ε = 0.1 "to guarantee
+  // good performance while control the computational overhead").
+  std::cout << "\nSinKnap ε sensitivity (end-to-end, 3 volunteers)\n";
+  eval::Table e({"eps", "energy saving", "affected users"});
+  for (double eps : {0.01, 0.1, 0.5, 0.9}) {
+    double saving = 0.0, affected = 0.0;
+    for (const synth::UserProfile& profile :
+         synth::volunteer_population()) {
+      const eval::VolunteerTraces traces =
+          eval::make_traces(profile, cfg);
+      policy::NetMasterConfig nm = cfg.netmaster;
+      nm.eps = eps;
+      const policy::NetMasterPolicy p(traces.training, nm);
+      const policy::BaselinePolicy baseline;
+      const RadioPowerParams& radio = cfg.netmaster.profit.radio;
+      const sim::SimReport base =
+          sim::account(traces.eval, baseline.run(traces.eval), radio);
+      const sim::SimReport rep =
+          sim::account(traces.eval, p.run(traces.eval), radio);
+      if (base.energy_j > 0.0) {
+        saving += 1.0 - rep.energy_j / base.energy_j;
+      }
+      affected += rep.affected_fraction;
+    }
+    e.add_row({eval::Table::num(eps, 2), eval::Table::pct(saving / 3.0),
+               eval::Table::pct(affected / 3.0, 2)});
+  }
+  e.print(std::cout);
+  std::cout << "expected shape: savings barely move with ε on trace "
+               "workloads (capacity rarely binds) — ε = 0.1 is a safe "
+               "default\n\n";
+}
+
+void BM_AblationFull(benchmark::State& state) {
+  eval::ExperimentConfig cfg;
+  cfg.seed = bench::kDefaultSeed;
+  const std::vector<synth::UserProfile> one = {
+      synth::volunteer_population().front()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval::ablation_study(one, cfg));
+  }
+}
+BENCHMARK(BM_AblationFull)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+NETMASTER_BENCH_MAIN()

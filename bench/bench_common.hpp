@@ -1,0 +1,44 @@
+// Shared scaffolding for the figure-regeneration benches.
+//
+// Every bench binary prints the paper figure's series as ASCII tables
+// (and a paper-vs-measured note), then runs its registered
+// google-benchmark timings. Figures are regenerated deterministically
+// from the seed printed in the header.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "eval/table.hpp"
+
+namespace netmaster::bench {
+
+inline constexpr std::uint64_t kDefaultSeed = 42;
+
+/// Prints the figure banner.
+inline void banner(const std::string& figure, const std::string& claim) {
+  std::cout << "==================================================\n"
+            << figure << "\n"
+            << "paper: " << claim << "\n"
+            << "seed: " << kDefaultSeed << "\n"
+            << "==================================================\n";
+}
+
+}  // namespace netmaster::bench
+
+/// Standard main: print the figure (defined per bench as
+/// `print_figure()`), then run benchmarks.
+#define NETMASTER_BENCH_MAIN()                                   \
+  int main(int argc, char** argv) {                              \
+    print_figure();                                              \
+    ::benchmark::Initialize(&argc, argv);                        \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {  \
+      return 1;                                                  \
+    }                                                            \
+    ::benchmark::RunSpecifiedBenchmarks();                       \
+    ::benchmark::Shutdown();                                     \
+    return 0;                                                    \
+  }

@@ -1,0 +1,82 @@
+// Extension — LTE radio profile.
+//
+// The paper evaluates on China Unicom WCDMA and draws its power numbers
+// partly from the LTE measurement study it cites ([11], Huang et al.).
+// This bench re-runs the Fig. 7a comparison under the LTE profile
+// (fast promotion, high connected power, long DRX tail): the same
+// scheduling logic should save a comparable or larger fraction, since
+// LTE's tail energy is even more dominant.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "eval/experiments.hpp"
+#include "synth/presets.hpp"
+
+namespace {
+
+using namespace netmaster;
+
+eval::ExperimentConfig config_for(const RadioPowerParams& radio) {
+  eval::ExperimentConfig cfg;
+  cfg.seed = bench::kDefaultSeed;
+  cfg.netmaster.profit.radio = radio;
+  return cfg;
+}
+
+void print_figure() {
+  bench::banner("Extension — WCDMA vs LTE radio profiles",
+                "same scheduling logic across radio generations");
+  struct Profile {
+    const char* name;
+    RadioPowerParams radio;
+  };
+  const Profile profiles[] = {
+      {"WCDMA", RadioPowerParams::wcdma()},
+      {"LTE", RadioPowerParams::lte()},
+  };
+
+  eval::Table t({"radio", "policy", "energy (J)", "saving",
+                 "radio-on reduction"});
+  for (const Profile& prof : profiles) {
+    const auto results = eval::compare_all(synth::volunteer_population(),
+                                           config_for(prof.radio));
+    double nm_saving = 0.0, oracle_saving = 0.0, radio_cut = 0.0;
+    double base_energy = 0.0, nm_energy = 0.0;
+    for (const auto& r : results) {
+      base_energy += r.baseline.energy_j;
+      for (const auto& row : r.rows) {
+        if (row.policy == "netmaster") {
+          nm_saving += row.energy_saving;
+          nm_energy += row.report.energy_j;
+          radio_cut += 1.0 - row.radio_on_fraction;
+        }
+        if (row.policy == "oracle") oracle_saving += row.energy_saving;
+      }
+    }
+    const auto n = static_cast<double>(results.size());
+    t.add_row({prof.name, "baseline", eval::Table::num(base_energy, 0),
+               "0%", "-"});
+    t.add_row({prof.name, "netmaster", eval::Table::num(nm_energy, 0),
+               eval::Table::pct(nm_saving / n),
+               eval::Table::pct(radio_cut / n)});
+    t.add_row({prof.name, "oracle", "-",
+               eval::Table::pct(oracle_saving / n), "-"});
+  }
+  t.print(std::cout);
+  std::cout << "expected shape: savings comparable across radio "
+               "generations; LTE pays more per tail but promotes "
+               "faster\n\n";
+}
+
+void BM_LteComparison(benchmark::State& state) {
+  const auto profile = synth::volunteer_population().front();
+  const auto cfg = config_for(RadioPowerParams::lte());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval::compare_policies(profile, cfg));
+  }
+}
+BENCHMARK(BM_LteComparison)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+NETMASTER_BENCH_MAIN()

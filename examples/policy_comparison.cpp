@@ -1,0 +1,79 @@
+// Policy comparison across the whole 8-user study population: baseline,
+// fixed-interval delay, batch-N, delay&batch, NetMaster and the oracle,
+// with the full metric set. A wider view than the paper's 3-volunteer
+// table (Fig. 7).
+//
+//   $ ./policy_comparison [seed]
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "common/stats.hpp"
+#include "eval/experiments.hpp"
+#include "eval/table.hpp"
+#include "policy/baseline.hpp"
+#include "policy/batch.hpp"
+#include "policy/delay.hpp"
+#include "policy/delay_batch.hpp"
+#include "policy/netmaster.hpp"
+#include "policy/oracle.hpp"
+#include "synth/presets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace netmaster;
+
+  eval::ExperimentConfig cfg;
+  if (argc > 1) cfg.seed = std::strtoull(argv[1], nullptr, 10);
+  const RadioPowerParams radio = cfg.netmaster.profit.radio;
+
+  std::cout << "Policy comparison over the 8-user study population "
+            << "(train " << cfg.train_days << "d, eval " << cfg.eval_days
+            << "d, seed " << cfg.seed << ")\n\n";
+
+  StreamingStats nm_saving, oracle_saving;
+  for (const synth::UserProfile& profile : synth::study_population()) {
+    const eval::VolunteerTraces traces = eval::make_traces(profile, cfg);
+
+    std::vector<std::unique_ptr<policy::Policy>> policies;
+    policies.push_back(std::make_unique<policy::BaselinePolicy>());
+    policies.push_back(std::make_unique<policy::DelayPolicy>(seconds(60)));
+    policies.push_back(std::make_unique<policy::BatchPolicy>(5));
+    policies.push_back(
+        std::make_unique<policy::DelayBatchPolicy>(seconds(60)));
+    policies.push_back(std::make_unique<policy::NetMasterPolicy>(
+        traces.training, cfg.netmaster));
+    policies.push_back(
+        std::make_unique<policy::OraclePolicy>(cfg.netmaster.profit));
+
+    eval::Table table({"policy", "energy (J)", "saving", "radio-on (min)",
+                       "avg down (kB/s)", "affected", "deferrals",
+                       "mean wait (s)"});
+    double base_energy = 0.0;
+    for (const auto& p : policies) {
+      const sim::SimReport rep =
+          sim::account(traces.eval, p->run(traces.eval), radio);
+      if (p->name() == "baseline") base_energy = rep.energy_j;
+      const double saving =
+          base_energy > 0.0 ? 1.0 - rep.energy_j / base_energy : 0.0;
+      if (p->name() == "netmaster") nm_saving.add(saving);
+      if (p->name() == "oracle") oracle_saving.add(saving);
+      table.add_row(
+          {p->name(), eval::Table::num(rep.energy_j, 0),
+           eval::Table::pct(saving),
+           eval::Table::num(to_seconds(rep.radio_on_ms) / 60.0, 1),
+           eval::Table::num(rep.avg_down_rate_kbps, 2),
+           eval::Table::pct(rep.affected_fraction),
+           std::to_string(rep.deferred_count),
+           eval::Table::num(rep.mean_deferral_latency_s, 0)});
+    }
+    std::cout << "== user " << profile.id << " (" << profile.name
+              << ") ==\n";
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "population averages: NetMaster saving "
+            << eval::Table::pct(nm_saving.mean()) << ", oracle "
+            << eval::Table::pct(oracle_saving.mean()) << '\n';
+  return 0;
+}

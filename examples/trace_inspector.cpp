@@ -1,0 +1,78 @@
+// Trace inspector: generate (or load) a trace, print its §III profile
+// statistics, and demonstrate the CSV round trip.
+//
+//   $ ./trace_inspector                 # synthesize and inspect
+//   $ ./trace_inspector trace.csv       # inspect an existing file
+#include <cstdlib>
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "eval/table.hpp"
+#include "synth/generator.hpp"
+#include "synth/presets.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/trace_stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace netmaster;
+
+  UserTrace trace;
+  if (argc > 1) {
+    std::cout << "loading " << argv[1] << "\n";
+    trace = load_trace(argv[1]);
+  } else {
+    const auto profile =
+        synth::make_user(synth::Archetype::kCommuter, 5);
+    trace = synth::generate_trace(profile, 7, 42);
+    const std::string path = "commuter_week.csv";
+    save_trace(path, trace);
+    std::cout << "synthesized one week of '" << profile.name
+              << "' and saved it to " << path << "\n";
+    // Round-trip check: reload and compare.
+    const UserTrace back = load_trace(path);
+    std::cout << "round trip "
+              << (back.activities == trace.activities ? "OK" : "MISMATCH")
+              << "\n";
+  }
+
+  std::cout << "\nuser " << trace.user << ", " << trace.num_days
+            << " days, " << trace.app_names.size() << " apps, "
+            << trace.sessions.size() << " sessions, "
+            << trace.usages.size() << " launches, "
+            << trace.activities.size() << " transfers\n\n";
+
+  const TrafficSplit split = traffic_split(trace);
+  const ScreenUtilization util = screen_utilization(trace);
+  eval::Table summary({"metric", "value"});
+  summary.add_row({"screen-off activity fraction",
+                   eval::Table::pct(split.screen_off_activity_fraction())});
+  summary.add_row({"screen-off byte fraction",
+                   eval::Table::pct(split.screen_off_byte_fraction())});
+  summary.add_row({"avg session (s)",
+                   eval::Table::num(util.avg_session_s, 1)});
+  summary.add_row({"radio utilization in sessions",
+                   eval::Table::pct(util.radio_utilization)});
+  const RateSamples rates = transfer_rate_samples(trace);
+  if (!rates.screen_on_kbps.empty()) {
+    summary.add_row({"p90 screen-on rate (kB/s)",
+                     eval::Table::num(
+                         percentile(rates.screen_on_kbps, 0.9), 2)});
+  }
+  if (!rates.screen_off_kbps.empty()) {
+    summary.add_row({"p90 screen-off rate (kB/s)",
+                     eval::Table::num(
+                         percentile(rates.screen_off_kbps, 0.9), 2)});
+  }
+  summary.print(std::cout);
+
+  std::cout << "\nhourly usage intensity (launches per hour of day):\n";
+  const IntensityVector intensity = usage_intensity(trace);
+  double peak = 1.0;
+  for (double v : intensity) peak = std::max(peak, v);
+  for (int h = 0; h < kHoursPerDay; ++h) {
+    const int bars = static_cast<int>(40.0 * intensity[h] / peak);
+    std::cout << (h < 10 ? " " : "") << h << "h |"
+              << std::string(bars, '#') << ' ' << intensity[h] << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Error-handling primitives shared by every netmaster module.
+//
+// The library reports contract violations by throwing `netmaster::Error`
+// (a std::runtime_error subclass carrying the failing expression and
+// location). Recoverable conditions (e.g. malformed trace rows) are
+// reported through return values or dedicated exception types declared
+// next to the API that raises them; NM_REQUIRE is reserved for caller
+// contract violations and NM_ASSERT for internal invariants.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace netmaster {
+
+/// Exception thrown on contract or invariant violation anywhere in the
+/// library. Carries a human-readable message with file/line context.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise(const char* kind, const char* expr,
+                               const char* file, int line,
+                               const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace netmaster
+
+/// Validates a caller-supplied precondition; throws netmaster::Error on
+/// failure. Always enabled (these guard the public API surface).
+#define NM_REQUIRE(expr, msg)                                              \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::netmaster::detail::raise("precondition", #expr, __FILE__,          \
+                                 __LINE__, (msg));                         \
+  } while (false)
+
+/// Validates an internal invariant; throws netmaster::Error on failure.
+/// Always enabled — the simulator is cheap enough that we never trade
+/// invariant checking for speed.
+#define NM_ASSERT(expr, msg)                                               \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::netmaster::detail::raise("invariant", #expr, __FILE__, __LINE__,   \
+                                 (msg));                                   \
+  } while (false)

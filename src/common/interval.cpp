@@ -1,0 +1,88 @@
+#include "common/interval.hpp"
+
+#include <algorithm>
+
+namespace netmaster {
+
+IntervalSet::IntervalSet(std::vector<Interval> intervals) {
+  std::erase_if(intervals, [](const Interval& iv) { return iv.empty(); });
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.begin < b.begin;
+            });
+  for (const Interval& iv : intervals) {
+    if (!intervals_.empty() && iv.begin <= intervals_.back().end) {
+      intervals_.back().end = std::max(intervals_.back().end, iv.end);
+    } else {
+      intervals_.push_back(iv);
+    }
+  }
+}
+
+void IntervalSet::add(TimeMs begin, TimeMs end) {
+  if (begin >= end) return;
+
+  // Find the first existing interval whose end reaches begin (candidates
+  // for merging) and the first whose begin exceeds end.
+  auto first = std::lower_bound(
+      intervals_.begin(), intervals_.end(), begin,
+      [](const Interval& iv, TimeMs b) { return iv.end < b; });
+  auto last = std::upper_bound(
+      first, intervals_.end(), end,
+      [](TimeMs e, const Interval& iv) { return e < iv.begin; });
+
+  if (first == last) {
+    intervals_.insert(first, Interval{begin, end});
+    return;
+  }
+  // Merge [first, last) with the new interval in place.
+  first->begin = std::min(first->begin, begin);
+  first->end = std::max(std::prev(last)->end, end);
+  intervals_.erase(std::next(first), last);
+}
+
+void IntervalSet::add(const IntervalSet& other) {
+  for (const Interval& iv : other.intervals_) add(iv);
+}
+
+DurationMs IntervalSet::total_length() const {
+  DurationMs total = 0;
+  for (const Interval& iv : intervals_) total += iv.length();
+  return total;
+}
+
+DurationMs IntervalSet::overlap_length(TimeMs begin, TimeMs end) const {
+  if (begin >= end) return 0;
+  DurationMs total = 0;
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), begin,
+      [](const Interval& iv, TimeMs b) { return iv.end <= b; });
+  for (; it != intervals_.end() && it->begin < end; ++it) {
+    total += intersect(*it, Interval{begin, end}).length();
+  }
+  return total;
+}
+
+bool IntervalSet::contains(TimeMs t) const {
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](const Interval& iv, TimeMs v) { return iv.end <= v; });
+  return it != intervals_.end() && it->contains(t);
+}
+
+IntervalSet IntervalSet::complement(TimeMs begin, TimeMs end) const {
+  IntervalSet out;
+  if (begin >= end) return out;
+  TimeMs cursor = begin;
+  for (const Interval& iv : intervals_) {
+    if (iv.end <= cursor) continue;
+    if (iv.begin >= end) break;
+    if (iv.begin > cursor) out.add(cursor, std::min(iv.begin, end));
+    cursor = std::max(cursor, iv.end);
+    if (cursor >= end) break;
+  }
+  if (cursor < end) out.add(cursor, end);
+  return out;
+}
+
+}  // namespace netmaster

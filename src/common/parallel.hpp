@@ -1,0 +1,53 @@
+// Minimal shared-memory parallel loop for embarrassingly-parallel
+// experiment sweeps (per-volunteer runs, parameter grids). Plain
+// std::thread fan-out with static index partitioning: every experiment
+// in this library is deterministic per index, so static scheduling
+// keeps results bit-identical regardless of thread count.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace netmaster {
+
+/// Invokes fn(i) for every i in [0, count), distributing indices across
+/// up to `max_threads` hardware threads (0 = hardware_concurrency).
+/// fn must be safe to call concurrently for distinct indices. The first
+/// exception thrown by any invocation is rethrown on the caller.
+template <typename Fn>
+void parallel_for(std::size_t count, Fn&& fn,
+                  unsigned max_threads = 0) {
+  if (count == 0) return;
+  unsigned hw = max_threads != 0 ? max_threads
+                                 : std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  const std::size_t workers =
+      std::min<std::size_t>(hw, count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      try {
+        for (std::size_t i = w; i < count; i += workers) fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace netmaster

@@ -1,0 +1,81 @@
+// Small statistics toolkit: streaming moments, percentiles, empirical
+// CDFs and fixed-bin histograms. Used by trace profiling (Fig. 1/2),
+// the mining layer, and every bench reporter.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace netmaster {
+
+/// Streaming mean/variance/min/max over doubles (Welford's algorithm).
+class StreamingStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample (linear interpolation between order statistics).
+/// q in [0, 1]. Sorts a copy; fine for bench-sized samples.
+double percentile(std::vector<double> values, double q);
+
+/// Pearson correlation coefficient of two equal-length vectors (the
+/// paper's Eq. 1). Returns 0 when either vector has zero variance
+/// (the paper's usage vectors are all-zero overnight for some users;
+/// correlation against a constant is undefined, 0 is the neutral choice).
+double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;     ///< sample value
+  double fraction = 0.0;  ///< P(X <= value)
+};
+
+/// Empirical CDF of a sample, one point per distinct value.
+std::vector<CdfPoint> empirical_cdf(std::vector<double> values);
+
+/// Smallest value v such that P(X <= v) >= q under the empirical CDF.
+double cdf_quantile(const std::vector<CdfPoint>& cdf, double q);
+
+/// Fixed-width histogram over [lo, hi) with saturating edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const;
+  std::size_t total() const { return total_; }
+  /// Center value of a bin.
+  double bin_center(std::size_t bin) const;
+  /// Fraction of samples in the bin (0 when empty histogram).
+  double fraction(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace netmaster

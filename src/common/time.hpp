@@ -1,0 +1,76 @@
+// Time model used across the library.
+//
+// All timestamps are int64 milliseconds since the start of a trace
+// ("trace epoch", t = 0 is midnight of day 0). Millisecond resolution is
+// fine for radio accounting (RRC timers are seconds-scale) while avoiding
+// floating-point drift in long traces. Mining operates on hour-of-day
+// buckets derived from these timestamps.
+#pragma once
+
+#include <cstdint>
+
+namespace netmaster {
+
+/// Milliseconds since trace epoch (midnight of day 0).
+using TimeMs = std::int64_t;
+
+/// A length of time in milliseconds.
+using DurationMs = std::int64_t;
+
+inline constexpr DurationMs kMsPerSecond = 1000;
+inline constexpr DurationMs kMsPerMinute = 60 * kMsPerSecond;
+inline constexpr DurationMs kMsPerHour = 60 * kMsPerMinute;
+inline constexpr DurationMs kMsPerDay = 24 * kMsPerHour;
+inline constexpr int kHoursPerDay = 24;
+
+/// Converts whole seconds to TimeMs/DurationMs.
+constexpr DurationMs seconds(double s) {
+  return static_cast<DurationMs>(s * static_cast<double>(kMsPerSecond));
+}
+
+/// Converts whole minutes to DurationMs.
+constexpr DurationMs minutes(double m) {
+  return static_cast<DurationMs>(m * static_cast<double>(kMsPerMinute));
+}
+
+/// Converts whole hours to DurationMs.
+constexpr DurationMs hours(double h) {
+  return static_cast<DurationMs>(h * static_cast<double>(kMsPerHour));
+}
+
+/// Converts a duration to fractional seconds (for reporting/energy math).
+constexpr double to_seconds(DurationMs d) {
+  return static_cast<double>(d) / static_cast<double>(kMsPerSecond);
+}
+
+/// Day index (0-based) containing timestamp t. Negative times are not a
+/// valid trace position; callers must pass t >= 0.
+constexpr int day_of(TimeMs t) { return static_cast<int>(t / kMsPerDay); }
+
+/// Hour of day (0..23) containing timestamp t.
+constexpr int hour_of(TimeMs t) {
+  return static_cast<int>((t % kMsPerDay) / kMsPerHour);
+}
+
+/// Millisecond offset of t within its day (0 .. kMsPerDay-1).
+constexpr TimeMs time_of_day(TimeMs t) { return t % kMsPerDay; }
+
+/// Timestamp of midnight beginning day `day`.
+constexpr TimeMs day_start(int day) {
+  return static_cast<TimeMs>(day) * kMsPerDay;
+}
+
+/// Timestamp of the start of `hour` on `day`.
+constexpr TimeMs hour_start(int day, int hour) {
+  return day_start(day) + static_cast<TimeMs>(hour) * kMsPerHour;
+}
+
+/// True when `day` falls on a weekend under the convention that day 0 is
+/// a Monday (so days 5 and 6 of each week are Saturday/Sunday). The synth
+/// generator and the mining predictor share this convention.
+constexpr bool is_weekend(int day) {
+  const int dow = day % 7;
+  return dow == 5 || dow == 6;
+}
+
+}  // namespace netmaster

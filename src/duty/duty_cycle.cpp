@@ -1,0 +1,79 @@
+#include "duty/duty_cycle.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace netmaster::duty {
+
+DutyCycler::DutyCycler(const DutyConfig& config)
+    : config_(config), rng_(config.seed),
+      current_sleep_(config.initial_sleep_ms) {
+  NM_REQUIRE(config.initial_sleep_ms > 0, "sleep interval must be positive");
+  NM_REQUIRE(config.wake_window_ms >= 0, "wake window must be non-negative");
+  NM_REQUIRE(config.max_backoff_exponent >= 0,
+             "back-off exponent must be non-negative");
+  schedule_from(0);
+}
+
+void DutyCycler::reset(TimeMs now) {
+  backoff_exponent_ = 0;
+  current_sleep_ = config_.initial_sleep_ms;
+  schedule_from(now);
+}
+
+void DutyCycler::schedule_from(TimeMs from) {
+  switch (config_.scheme) {
+    case SleepScheme::kExponential:
+      current_sleep_ = config_.initial_sleep_ms
+                       << std::min(backoff_exponent_,
+                                   config_.max_backoff_exponent);
+      break;
+    case SleepScheme::kFixed:
+      current_sleep_ = config_.initial_sleep_ms;
+      break;
+    case SleepScheme::kRandom:
+      current_sleep_ = static_cast<DurationMs>(rng_.uniform(
+          0.5 * static_cast<double>(config_.initial_sleep_ms),
+          1.5 * static_cast<double>(config_.initial_sleep_ms)));
+      current_sleep_ = std::max<DurationMs>(current_sleep_, 1);
+      break;
+  }
+  next_wake_ = from + current_sleep_;
+}
+
+void DutyCycler::advance_fruitless() {
+  const TimeMs wake_end = next_wake_ + config_.wake_window_ms;
+  if (config_.scheme == SleepScheme::kExponential) ++backoff_exponent_;
+  schedule_from(wake_end);
+}
+
+void DutyCycler::notify_activity(TimeMs now) {
+  backoff_exponent_ = 0;
+  schedule_from(now);
+}
+
+std::vector<WakeEvent> simulate_idle_window(const DutyConfig& config,
+                                            const Interval& window) {
+  NM_REQUIRE(!window.empty(), "idle window must be non-empty");
+  DutyCycler cycler(config);
+  cycler.reset(window.begin);
+
+  std::vector<WakeEvent> wakes;
+  while (cycler.next_wake() < window.end) {
+    const TimeMs wake = cycler.next_wake();
+    const DurationMs win =
+        std::min<DurationMs>(config.wake_window_ms, window.end - wake);
+    wakes.push_back({wake, win, false});
+    cycler.advance_fruitless();
+  }
+  return wakes;
+}
+
+DurationMs total_wake_time(const std::vector<WakeEvent>& wakes) {
+  DurationMs total = 0;
+  for (const WakeEvent& w : wakes) total += w.window;
+  return total;
+}
+
+}  // namespace netmaster::duty

@@ -1,0 +1,89 @@
+// Duty-cycle radio sleep schemes (§IV-C.2, Fig. 10a/b).
+//
+// During screen-off periods outside predicted user-active slots,
+// NetMaster keeps the radio off and wakes it periodically so "Special
+// Apps" can use the network, covering imperfect predictions and
+// accidental activities. The paper borrows the duty-cycle idea from
+// low-power MAC protocols (B-MAC lineage) and adds an exponential
+// back-off: after a fruitless wake-up the sleep interval doubles
+// (T, 2T, 4T, ...), resetting to T whenever activity is detected.
+// Fixed and random sleep schemes are implemented for the Fig. 10b
+// comparison.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/interval.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace netmaster::duty {
+
+enum class SleepScheme {
+  kExponential,  ///< T, 2T, 4T, ... capped; resets on activity
+  kFixed,        ///< constant T
+  kRandom,       ///< uniform in [0.5T, 1.5T]
+};
+
+struct DutyConfig {
+  SleepScheme scheme = SleepScheme::kExponential;
+  DurationMs initial_sleep_ms = 30 * kMsPerSecond;  ///< the paper's 30 s
+  DurationMs wake_window_ms = 2 * kMsPerSecond;     ///< radio-on probe
+  /// Back-off cap as a multiple of the initial interval (exponential
+  /// scheme only). 2^6 = 64x -> 32 min max sleep at T = 30 s.
+  int max_backoff_exponent = 6;
+  std::uint64_t seed = 0;  ///< randomness for kRandom
+};
+
+/// One radio wake-up probe.
+struct WakeEvent {
+  TimeMs time = 0;          ///< wake instant
+  DurationMs window = 0;    ///< how long the radio stayed on
+  bool productive = false;  ///< activity was served during the window
+};
+
+/// Stateful duty cycler. Drive it with `advance_idle` across an idle
+/// window to collect the wake schedule, and call `notify_activity`
+/// whenever the radio was needed (resets the exponential back-off).
+class DutyCycler {
+ public:
+  explicit DutyCycler(const DutyConfig& config);
+
+  /// Resets back-off state and re-bases the schedule at `now`.
+  void reset(TimeMs now);
+
+  /// The next wake-up instant strictly after the current position.
+  TimeMs next_wake() const { return next_wake_; }
+
+  /// Marks the current wake as fruitless and schedules the next one.
+  void advance_fruitless();
+
+  /// Marks activity at the current wake (or an externally-forced radio
+  /// power-on at `now`): the back-off resets and the next wake is one
+  /// initial interval after `now`.
+  void notify_activity(TimeMs now);
+
+  const DutyConfig& config() const { return config_; }
+  DurationMs current_sleep() const { return current_sleep_; }
+
+ private:
+  void schedule_from(TimeMs from);
+
+  DutyConfig config_;
+  Rng rng_;
+  DurationMs current_sleep_;
+  int backoff_exponent_ = 0;
+  TimeMs next_wake_ = 0;
+};
+
+/// Simulates a duty cycler over an idle window with no activity at all
+/// (the Fig. 10a/b setting) and returns every wake event. The returned
+/// wakes all fall inside [window.begin, window.end).
+std::vector<WakeEvent> simulate_idle_window(const DutyConfig& config,
+                                            const Interval& window);
+
+/// Total radio-on time contributed by a wake schedule.
+DurationMs total_wake_time(const std::vector<WakeEvent>& wakes);
+
+}  // namespace netmaster::duty

@@ -1,0 +1,20 @@
+// Battery-life framing for radio energy numbers.
+//
+// The evaluation reports joules; users think in battery percent. A
+// 2014-class phone battery (the paper's HTC One X era) holds ~2100 mAh
+// at 3.8 V ≈ 28.7 kJ. These helpers convert a radio energy figure into
+// the fraction of a full charge it burns per day.
+#pragma once
+
+namespace netmaster::eval {
+
+/// Full-charge energy of the reference battery, joules.
+inline constexpr double kBatteryJoules = 2100.0 * 3.8 * 3.6;  // ≈ 28.7 kJ
+
+/// Fraction of a full charge consumed per day by `energy_j` spread over
+/// `days` days.
+constexpr double battery_fraction_per_day(double energy_j, int days) {
+  return energy_j / (static_cast<double>(days) * kBatteryJoules);
+}
+
+}  // namespace netmaster::eval

@@ -1,0 +1,277 @@
+#include "eval/experiments.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "mining/habits.hpp"
+#include "policy/baseline.hpp"
+#include "policy/batch.hpp"
+#include "policy/delay.hpp"
+#include "policy/delay_batch.hpp"
+#include "policy/oracle.hpp"
+#include "synth/generator.hpp"
+
+namespace netmaster::eval {
+
+namespace {
+
+ComparisonRow make_row(const policy::Policy& p, const UserTrace& eval_trace,
+                       const sim::SimReport& baseline,
+                       const RadioPowerParams& radio) {
+  ComparisonRow row;
+  row.policy = p.name();
+  row.report = sim::account(eval_trace, p.run(eval_trace), radio);
+  if (baseline.energy_j > 0.0) {
+    row.energy_saving = 1.0 - row.report.energy_j / baseline.energy_j;
+  }
+  if (baseline.radio_on_ms > 0) {
+    row.radio_on_fraction =
+        static_cast<double>(row.report.radio_on_ms) /
+        static_cast<double>(baseline.radio_on_ms);
+  }
+  auto ratio = [](double v, double base) {
+    return base > 0.0 ? v / base : 0.0;
+  };
+  row.down_rate_ratio =
+      ratio(row.report.avg_down_rate_kbps, baseline.avg_down_rate_kbps);
+  row.up_rate_ratio =
+      ratio(row.report.avg_up_rate_kbps, baseline.avg_up_rate_kbps);
+  row.peak_down_ratio =
+      ratio(row.report.peak_down_rate_kbps, baseline.peak_down_rate_kbps);
+  row.peak_up_ratio =
+      ratio(row.report.peak_up_rate_kbps, baseline.peak_up_rate_kbps);
+  return row;
+}
+
+}  // namespace
+
+VolunteerTraces make_traces(const synth::UserProfile& profile,
+                            const ExperimentConfig& config) {
+  NM_REQUIRE(config.train_days > 0 && config.eval_days > 0,
+             "train/eval day counts must be positive");
+  NM_REQUIRE(config.train_days % 7 == 0,
+             "train_days must be whole weeks to keep the weekday/weekend "
+             "regimes aligned between training and evaluation");
+  const int total = config.train_days + config.eval_days;
+  const UserTrace full =
+      synth::generate_trace(profile, total, config.seed);
+  return {full.slice_days(0, config.train_days),
+          full.slice_days(config.train_days, config.eval_days)};
+}
+
+VolunteerComparison compare_policies(const synth::UserProfile& profile,
+                                     const ExperimentConfig& config) {
+  const VolunteerTraces traces = make_traces(profile, config);
+  const RadioPowerParams& radio = config.netmaster.profit.radio;
+
+  VolunteerComparison result;
+  result.user = profile.id;
+  result.profile_name = profile.name;
+
+  const policy::BaselinePolicy baseline;
+  result.baseline =
+      sim::account(traces.eval, baseline.run(traces.eval), radio);
+
+  std::vector<std::unique_ptr<policy::Policy>> policies;
+  policies.push_back(std::make_unique<policy::OraclePolicy>(
+      config.netmaster.profit));
+  policies.push_back(std::make_unique<policy::NetMasterPolicy>(
+      traces.training, config.netmaster));
+  policies.push_back(
+      std::make_unique<policy::DelayBatchPolicy>(seconds(10)));
+  policies.push_back(
+      std::make_unique<policy::DelayBatchPolicy>(seconds(20)));
+  policies.push_back(
+      std::make_unique<policy::DelayBatchPolicy>(seconds(60)));
+
+  result.rows.push_back(
+      make_row(baseline, traces.eval, result.baseline, radio));
+  for (const auto& p : policies) {
+    result.rows.push_back(make_row(*p, traces.eval, result.baseline, radio));
+  }
+  return result;
+}
+
+std::vector<VolunteerComparison> compare_all(
+    const std::vector<synth::UserProfile>& profiles,
+    const ExperimentConfig& config) {
+  std::vector<VolunteerComparison> results(profiles.size());
+  parallel_for(profiles.size(), [&](std::size_t i) {
+    results[i] = compare_policies(profiles[i], config);
+  });
+  return results;
+}
+
+namespace {
+
+/// Runs one parameterized policy over every profile and averages the
+/// sweep metrics.
+template <typename MakePolicy>
+SweepPoint sweep_point(double x,
+                       const std::vector<synth::UserProfile>& profiles,
+                       const ExperimentConfig& config,
+                       MakePolicy&& make_policy) {
+  SweepPoint point;
+  point.x = x;
+  const RadioPowerParams& radio = config.netmaster.profit.radio;
+  for (const synth::UserProfile& profile : profiles) {
+    const VolunteerTraces traces = make_traces(profile, config);
+    const policy::BaselinePolicy baseline_policy;
+    const sim::SimReport base =
+        sim::account(traces.eval, baseline_policy.run(traces.eval), radio);
+    const auto p = make_policy();
+    const sim::SimReport rep =
+        sim::account(traces.eval, p->run(traces.eval), radio);
+
+    if (base.energy_j > 0.0) {
+      point.energy_saving += 1.0 - rep.energy_j / base.energy_j;
+    }
+    if (base.radio_on_ms > 0) {
+      point.radio_on_reduction +=
+          1.0 - static_cast<double>(rep.radio_on_ms) /
+                    static_cast<double>(base.radio_on_ms);
+    }
+    if (base.avg_down_rate_kbps > 0.0) {
+      point.bandwidth_increase +=
+          rep.avg_down_rate_kbps / base.avg_down_rate_kbps - 1.0;
+    }
+    point.affected_fraction += rep.affected_fraction;
+  }
+  const auto n = static_cast<double>(profiles.size());
+  point.energy_saving /= n;
+  point.radio_on_reduction /= n;
+  point.bandwidth_increase /= n;
+  point.affected_fraction /= n;
+  return point;
+}
+
+}  // namespace
+
+std::vector<SweepPoint> delay_sweep(
+    const std::vector<synth::UserProfile>& profiles,
+    const std::vector<double>& delays_s, const ExperimentConfig& config) {
+  std::vector<SweepPoint> points(delays_s.size());
+  parallel_for(delays_s.size(), [&](std::size_t i) {
+    const double d = delays_s[i];
+    if (d <= 0.0) {
+      points[i] = sweep_point(d, profiles, config, [] {
+        return std::make_unique<policy::BaselinePolicy>();
+      });
+    } else {
+      points[i] = sweep_point(d, profiles, config, [d] {
+        return std::make_unique<policy::DelayPolicy>(seconds(d));
+      });
+    }
+  });
+  return points;
+}
+
+std::vector<SweepPoint> batch_sweep(
+    const std::vector<synth::UserProfile>& profiles,
+    const std::vector<std::size_t>& sizes,
+    const ExperimentConfig& config) {
+  std::vector<SweepPoint> points(sizes.size());
+  parallel_for(sizes.size(), [&](std::size_t i) {
+    const std::size_t n = sizes[i];
+    points[i] =
+        sweep_point(static_cast<double>(n), profiles, config, [n] {
+          return std::make_unique<policy::BatchPolicy>(n);
+        });
+  });
+  return points;
+}
+
+std::vector<ThresholdPoint> threshold_sweep(
+    const std::vector<synth::UserProfile>& profiles,
+    const std::vector<double>& deltas, const ExperimentConfig& config) {
+  std::vector<ThresholdPoint> points(deltas.size());
+  parallel_for(deltas.size(), [&](std::size_t i) {
+    ThresholdPoint point;
+    point.delta = deltas[i];
+    const RadioPowerParams& radio = config.netmaster.profit.radio;
+    for (const synth::UserProfile& profile : profiles) {
+      const VolunteerTraces traces = make_traces(profile, config);
+
+      policy::NetMasterConfig nm = config.netmaster;
+      nm.predictor.delta_weekday = deltas[i];
+      nm.predictor.delta_weekend = deltas[i];
+      nm.slot_powered_radio = true;  // the paper's Fig. 10c setting
+      const policy::NetMasterPolicy netmaster(traces.training, nm);
+      point.accuracy +=
+          mining::prediction_accuracy(netmaster.predictor(), traces.eval);
+
+      const policy::BaselinePolicy baseline;
+      const sim::SimReport base =
+          sim::account(traces.eval, baseline.run(traces.eval), radio);
+      const sim::SimReport rep =
+          sim::account(traces.eval, netmaster.run(traces.eval), radio);
+      const policy::OraclePolicy oracle(config.netmaster.profit);
+      const sim::SimReport orep =
+          sim::account(traces.eval, oracle.run(traces.eval), radio);
+
+      const double saving = base.energy_j - rep.energy_j;
+      const double oracle_saving = base.energy_j - orep.energy_j;
+      if (oracle_saving > 0.0) {
+        point.energy_saving += std::max(saving, 0.0) / oracle_saving;
+      }
+    }
+    const auto n = static_cast<double>(profiles.size());
+    point.accuracy /= n;
+    point.energy_saving /= n;
+    points[i] = point;
+  });
+  return points;
+}
+
+std::vector<AblationRow> ablation_study(
+    const std::vector<synth::UserProfile>& profiles,
+    const ExperimentConfig& config) {
+  struct Variant {
+    const char* name;
+    bool prediction, duty, special;
+  };
+  const Variant variants[] = {
+      {"full", true, true, true},
+      {"no-prediction", false, true, true},
+      {"no-duty-cycle", true, false, true},
+      {"no-special-apps", true, true, false},
+  };
+
+  std::vector<AblationRow> rows(std::size(variants));
+  parallel_for(std::size(variants), [&](std::size_t v) {
+    const Variant& variant = variants[v];
+    AblationRow row;
+    row.variant = variant.name;
+    const RadioPowerParams& radio = config.netmaster.profit.radio;
+    for (const synth::UserProfile& profile : profiles) {
+      const VolunteerTraces traces = make_traces(profile, config);
+      policy::NetMasterConfig nm = config.netmaster;
+      nm.enable_prediction = variant.prediction;
+      nm.enable_duty = variant.duty;
+      nm.enable_special_apps = variant.special;
+      const policy::NetMasterPolicy p(traces.training, nm);
+      const policy::BaselinePolicy baseline;
+      const sim::SimReport base =
+          sim::account(traces.eval, baseline.run(traces.eval), radio);
+      const sim::SimReport rep =
+          sim::account(traces.eval, p.run(traces.eval), radio);
+      if (base.energy_j > 0.0) {
+        row.energy_saving += 1.0 - rep.energy_j / base.energy_j;
+      }
+      row.affected_fraction += rep.affected_fraction;
+      row.mean_deferral_latency_s += rep.mean_deferral_latency_s;
+      row.wake_count += static_cast<double>(rep.wake_count);
+    }
+    const auto n = static_cast<double>(profiles.size());
+    row.energy_saving /= n;
+    row.affected_fraction /= n;
+    row.mean_deferral_latency_s /= n;
+    row.wake_count /= n;
+    rows[v] = row;
+  });
+  return rows;
+}
+
+}  // namespace netmaster::eval

@@ -1,0 +1,114 @@
+// Experiment runners for the §VI evaluation — one function per figure
+// family, shared by the bench binaries, the examples, and the
+// integration tests. All runners are deterministic in their seeds and
+// parallelize across volunteers / sweep points.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "policy/netmaster.hpp"
+#include "sim/accounting.hpp"
+#include "synth/profiles.hpp"
+
+namespace netmaster::eval {
+
+/// Common experiment setup: train on the first `train_days`, evaluate
+/// on the following `eval_days`. Both default to whole weeks so the
+/// weekday/weekend regimes stay aligned between training and
+/// evaluation.
+struct ExperimentConfig {
+  int train_days = 14;
+  int eval_days = 7;
+  std::uint64_t seed = 42;
+  policy::NetMasterConfig netmaster;
+};
+
+/// Train/eval split of one synthetic volunteer.
+struct VolunteerTraces {
+  UserTrace training;
+  UserTrace eval;
+};
+
+/// Generates and splits the traces for one profile.
+VolunteerTraces make_traces(const synth::UserProfile& profile,
+                            const ExperimentConfig& config);
+
+/// One policy's results on one volunteer, with baseline-relative
+/// derived metrics.
+struct ComparisonRow {
+  std::string policy;
+  sim::SimReport report;
+  double energy_saving = 0.0;      ///< 1 − E/E_baseline
+  double radio_on_fraction = 0.0;  ///< radio-on / baseline radio-on
+  double down_rate_ratio = 0.0;    ///< avg down kbps / baseline
+  double up_rate_ratio = 0.0;
+  double peak_down_ratio = 0.0;
+  double peak_up_ratio = 0.0;
+};
+
+/// Fig. 7 experiment for one volunteer: baseline, oracle, NetMaster,
+/// delay&batch at 10/20/60 s.
+struct VolunteerComparison {
+  UserId user = 0;
+  std::string profile_name;
+  sim::SimReport baseline;
+  std::vector<ComparisonRow> rows;
+};
+
+VolunteerComparison compare_policies(const synth::UserProfile& profile,
+                                     const ExperimentConfig& config);
+
+/// Runs compare_policies for every profile, in parallel.
+std::vector<VolunteerComparison> compare_all(
+    const std::vector<synth::UserProfile>& profiles,
+    const ExperimentConfig& config);
+
+/// One point of the Fig. 8 / Fig. 9 sweeps, averaged over profiles.
+struct SweepPoint {
+  double x = 0.0;                   ///< delay seconds / batch size
+  double energy_saving = 0.0;       ///< 1 − E/E_baseline
+  double radio_on_reduction = 0.0;  ///< 1 − radio_on/baseline radio_on
+  double bandwidth_increase = 0.0;  ///< avg rate / baseline − 1
+  double affected_fraction = 0.0;   ///< affected usages / usages
+};
+
+/// Fig. 8: fixed-interval delay sweep.
+std::vector<SweepPoint> delay_sweep(
+    const std::vector<synth::UserProfile>& profiles,
+    const std::vector<double>& delays_s, const ExperimentConfig& config);
+
+/// Fig. 9: batch-size sweep.
+std::vector<SweepPoint> batch_sweep(
+    const std::vector<synth::UserProfile>& profiles,
+    const std::vector<std::size_t>& sizes, const ExperimentConfig& config);
+
+/// One point of the Fig. 10c prediction-threshold sweep.
+struct ThresholdPoint {
+  double delta = 0.0;
+  double accuracy = 0.0;       ///< usages inside predicted slots
+  double energy_saving = 0.0;  ///< saving / oracle saving
+};
+
+/// Fig. 10c: δ sweep (same δ applied to weekdays and weekends so the
+/// x axis matches the paper's single-threshold plot).
+std::vector<ThresholdPoint> threshold_sweep(
+    const std::vector<synth::UserProfile>& profiles,
+    const std::vector<double>& deltas, const ExperimentConfig& config);
+
+/// Component ablation (DESIGN.md's knock-out study): the full system
+/// and each component disabled in turn, averaged over profiles.
+struct AblationRow {
+  std::string variant;
+  double energy_saving = 0.0;
+  double affected_fraction = 0.0;
+  double mean_deferral_latency_s = 0.0;
+  double wake_count = 0.0;
+};
+
+std::vector<AblationRow> ablation_study(
+    const std::vector<synth::UserProfile>& profiles,
+    const ExperimentConfig& config);
+
+}  // namespace netmaster::eval

@@ -1,0 +1,158 @@
+#include "mining/habits.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace netmaster::mining {
+
+HabitModel HabitModel::mine(const UserTrace& history) {
+  history.validate();
+  HabitModel model;
+
+  // Per-(day, hour) occupancy flags and accumulators.
+  const int days = history.num_days;
+  std::vector<std::array<bool, kHoursPerDay>> used(
+      days, std::array<bool, kHoursPerDay>{});
+  std::vector<std::array<int, kHoursPerDay>> usage_count(
+      days, std::array<int, kHoursPerDay>{});
+  std::vector<std::array<int, kHoursPerDay>> net_count(
+      days, std::array<int, kHoursPerDay>{});
+  std::vector<std::array<double, kHoursPerDay>> net_bytes(
+      days, std::array<double, kHoursPerDay>{});
+  // Eq. 3 counts (app, day) pairs: track which apps were active per
+  // (day, hour) so the denominator m*k is honoured.
+  const std::size_t num_apps = history.app_names.size();
+  std::vector<std::vector<bool>> app_net(
+      days, std::vector<bool>(num_apps * kHoursPerDay, false));
+
+  for (const AppUsage& u : history.usages) {
+    const int d = day_of(u.time);
+    const int h = hour_of(u.time);
+    used[d][h] = true;
+    ++usage_count[d][h];
+  }
+  for (const NetworkActivity& n : history.activities) {
+    if (history.screen_on_at(n.start)) continue;  // screen-off only
+    const int d = day_of(n.start);
+    const int h = hour_of(n.start);
+    ++net_count[d][h];
+    net_bytes[d][h] += static_cast<double>(n.total_bytes());
+    app_net[d][static_cast<std::size_t>(n.app) * kHoursPerDay + h] = true;
+  }
+
+  for (int d = 0; d < days; ++d) {
+    auto& s = model.stats_[static_cast<std::size_t>(day_kind(d))];
+    ++s.days_observed;
+    for (int h = 0; h < kHoursPerDay; ++h) {
+      if (used[d][h]) s.pr_active[h] += 1.0;
+      s.mean_intensity[h] += usage_count[d][h];
+      s.mean_net_count[h] += net_count[d][h];
+      s.mean_net_bytes[h] += net_bytes[d][h];
+      if (num_apps > 0) {
+        int apps_active = 0;
+        for (std::size_t a = 0; a < num_apps; ++a) {
+          if (app_net[d][a * kHoursPerDay + h]) ++apps_active;
+        }
+        s.pr_net[h] += static_cast<double>(apps_active) /
+                       static_cast<double>(num_apps);
+      }
+    }
+  }
+
+  for (auto& s : model.stats_) {
+    if (s.days_observed == 0) continue;
+    const auto k = static_cast<double>(s.days_observed);
+    for (int h = 0; h < kHoursPerDay; ++h) {
+      s.pr_active[h] /= k;
+      s.pr_net[h] /= k;
+      s.mean_intensity[h] /= k;
+      s.mean_net_count[h] /= k;
+      s.mean_net_bytes[h] /= k;
+    }
+  }
+  return model;
+}
+
+double HabitModel::pr_active_at(TimeMs t) const {
+  NM_REQUIRE(t >= 0, "time must be non-negative");
+  return pr_active(day_kind(day_of(t)), hour_of(t));
+}
+
+double HabitModel::pr_active(DayKind kind, int hour) const {
+  NM_REQUIRE(hour >= 0 && hour < kHoursPerDay, "hour out of range");
+  return stats_[static_cast<std::size_t>(kind)].pr_active[hour];
+}
+
+SlotPredictor::SlotPredictor(HabitModel model, PredictorConfig config)
+    : model_(std::move(model)), config_(config) {
+  NM_REQUIRE(config.delta_weekday >= 0.0 && config.delta_weekday <= 1.0,
+             "delta_weekday must be a probability");
+  NM_REQUIRE(config.delta_weekend >= 0.0 && config.delta_weekend <= 1.0,
+             "delta_weekend must be a probability");
+}
+
+double SlotPredictor::delta_for_day(int day) const {
+  return is_weekend(day) ? config_.delta_weekend : config_.delta_weekday;
+}
+
+DayPrediction SlotPredictor::predict_day(int day) const {
+  NM_REQUIRE(day >= 0, "day must be non-negative");
+  DayPrediction pred;
+  pred.day = day;
+  const DayKind kind = day_kind(day);
+  const HourStats& s = model_.stats(kind);
+  const double delta = delta_for_day(day);
+
+  for (int h = 0; h < kHoursPerDay; ++h) {
+    const TimeMs begin = hour_start(day, h);
+    const TimeMs end = begin + kMsPerHour;
+    // Eq. 2: active when Pr[u] exceeds the threshold. The paper's
+    // impact-based rule sets thr(u) so that Pr[u] in every *inactive*
+    // slot stays at or below δ, i.e. thr(u) is the smallest value
+    // strictly above δ — "Pr[u] > δ" implements exactly that.
+    if (s.pr_active[h] > delta) {
+      pred.active_slots.add(begin, end);  // adjacent hours auto-merge
+    } else if (s.pr_net[h] > 0.0) {
+      // Eq. 3 restricted to ti ∉ U.
+      pred.net_slots.add(begin, end);
+    }
+  }
+  return pred;
+}
+
+bool SlotPredictor::is_predicted_active(TimeMs t) const {
+  const HourStats& s = model_.stats(day_kind(day_of(t)));
+  return s.pr_active[static_cast<std::size_t>(hour_of(t))] >
+         delta_for_day(day_of(t));
+}
+
+double SlotPredictor::active_probability_integral(TimeMs from,
+                                                  TimeMs to) const {
+  NM_REQUIRE(from >= 0 && to >= from, "integral bounds must be ordered");
+  double integral = 0.0;
+  TimeMs t = from;
+  while (t < to) {
+    // Advance to the next hour boundary (or `to`, whichever first).
+    const TimeMs hour_end =
+        (t / kMsPerHour + 1) * kMsPerHour;
+    const TimeMs seg_end = std::min(hour_end, to);
+    integral += model_.pr_active_at(t) * to_seconds(seg_end - t);
+    t = seg_end;
+  }
+  return integral;
+}
+
+double prediction_accuracy(const SlotPredictor& predictor,
+                           const UserTrace& eval) {
+  if (eval.usages.empty()) return 1.0;
+  std::size_t inside = 0;
+  for (const AppUsage& u : eval.usages) {
+    if (predictor.is_predicted_active(u.time)) ++inside;
+  }
+  return static_cast<double>(inside) /
+         static_cast<double>(eval.usages.size());
+}
+
+}  // namespace netmaster::mining

@@ -1,0 +1,114 @@
+// Habit mining and hour-level prediction (§IV-A steps 1–2, §IV-C.1).
+//
+// The miner consumes a training trace and produces per-hour statistics
+// split by day kind (weekday / weekend, the paper's two δ regimes):
+//   - Pr[u(ti)]: fraction of history days with any foreground usage in
+//     hour ti (Eq. 2),
+//   - Pr[n(ti)]: fraction of (app, day) pairs with screen-off network
+//     activity in hour ti (Eq. 3),
+//   - mean screen-off activity count and bytes per hour (workload shape
+//     for the scheduler).
+//
+// The predictor thresholds Pr[u] at δ to produce the user-active slot
+// set U for a day (adjacent qualifying hours merge into variable-length
+// slots), and exposes Pr[u(t)] for the penalty integral of Eq. 4.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/interval.hpp"
+#include "common/time.hpp"
+#include "trace/trace.hpp"
+
+namespace netmaster::mining {
+
+/// Day regime. The paper applies different interrupt budgets to
+/// weekdays (δ = 0.2) and weekends (δ = 0.1).
+enum class DayKind { kWeekday = 0, kWeekend = 1 };
+
+inline DayKind day_kind(int day) {
+  return is_weekend(day) ? DayKind::kWeekend : DayKind::kWeekday;
+}
+
+/// Per-hour habit statistics for one day regime.
+struct HourStats {
+  std::array<double, kHoursPerDay> pr_active{};   ///< Eq. 2 numerator/k
+  std::array<double, kHoursPerDay> pr_net{};      ///< Eq. 3
+  std::array<double, kHoursPerDay> mean_intensity{};
+  std::array<double, kHoursPerDay> mean_net_count{};  ///< screen-off
+  std::array<double, kHoursPerDay> mean_net_bytes{};  ///< screen-off
+  int days_observed = 0;
+};
+
+/// Mined habit model of one user.
+class HabitModel {
+ public:
+  /// Mines the full training trace (all its days).
+  static HabitModel mine(const UserTrace& history);
+
+  const HourStats& stats(DayKind kind) const {
+    return stats_[static_cast<std::size_t>(kind)];
+  }
+
+  /// Pr[u] at an absolute trace time (hour-level resolution), using the
+  /// regime of the day containing t.
+  double pr_active_at(TimeMs t) const;
+
+  /// Pr[u] for a given regime and hour of day.
+  double pr_active(DayKind kind, int hour) const;
+
+ private:
+  std::array<HourStats, 2> stats_{};
+};
+
+/// Configuration of the slot predictor.
+struct PredictorConfig {
+  double delta_weekday = 0.2;  ///< interrupt budget δ on weekdays
+  double delta_weekend = 0.1;  ///< δ on weekends
+};
+
+/// The predicted slot structure for one day.
+struct DayPrediction {
+  int day = 0;
+  /// User-active slot set U (absolute trace times, merged hours).
+  IntervalSet active_slots;
+  /// Screen-off network-active slots Tn: hours outside U where history
+  /// shows screen-off traffic (Eq. 3's Pr[n] > 0 restricted to ti ∉ U).
+  IntervalSet net_slots;
+};
+
+/// Thresholds a HabitModel into daily slot predictions.
+class SlotPredictor {
+ public:
+  SlotPredictor(HabitModel model, PredictorConfig config);
+
+  const HabitModel& model() const { return model_; }
+  const PredictorConfig& config() const { return config_; }
+
+  /// δ in effect for the given day.
+  double delta_for_day(int day) const;
+
+  /// Predicted slots for one (absolute) day index.
+  DayPrediction predict_day(int day) const;
+
+  /// True when instant t falls in a predicted user-active slot.
+  bool is_predicted_active(TimeMs t) const;
+
+  /// Integral of Pr[u(t)]·dt over [from, to) in probability·seconds —
+  /// the second factor of the paper's penalty ΔP (Eq. 4).
+  double active_probability_integral(TimeMs from, TimeMs to) const;
+
+ private:
+  HabitModel model_;
+  PredictorConfig config_;
+};
+
+/// Prediction accuracy on an evaluation trace: the fraction of actual
+/// foreground usages that fall inside the predicted active slots
+/// (the paper's Fig. 10c definition).
+double prediction_accuracy(const SlotPredictor& predictor,
+                           const UserTrace& eval);
+
+}  // namespace netmaster::mining

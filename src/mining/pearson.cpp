@@ -1,0 +1,72 @@
+#include "mining/pearson.hpp"
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace netmaster::mining {
+
+namespace {
+
+std::vector<double> to_vector(const IntensityVector& v) {
+  return std::vector<double>(v.begin(), v.end());
+}
+
+}  // namespace
+
+double CorrelationMatrix::off_diagonal_mean() const {
+  if (n < 2) return 0.0;
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      sum += at(i, j);
+      ++count;
+    }
+  }
+  return sum / static_cast<double>(count);
+}
+
+CorrelationMatrix cross_user_matrix(const TraceSet& traces) {
+  CorrelationMatrix m;
+  m.n = traces.users.size();
+  m.values.assign(m.n * m.n, 1.0);
+
+  std::vector<std::vector<double>> vectors;
+  vectors.reserve(m.n);
+  for (const UserTrace& trace : traces.users) {
+    vectors.push_back(to_vector(usage_intensity(trace)));
+  }
+  for (std::size_t i = 0; i < m.n; ++i) {
+    for (std::size_t j = i + 1; j < m.n; ++j) {
+      const double r = pearson(vectors[i], vectors[j]);
+      m.values[i * m.n + j] = r;
+      m.values[j * m.n + i] = r;
+    }
+  }
+  return m;
+}
+
+CorrelationMatrix cross_day_matrix(const UserTrace& trace, int days) {
+  NM_REQUIRE(days > 0 && days <= trace.num_days,
+             "day count out of trace range");
+  CorrelationMatrix m;
+  m.n = static_cast<std::size_t>(days);
+  m.values.assign(m.n * m.n, 1.0);
+
+  std::vector<std::vector<double>> vectors;
+  vectors.reserve(m.n);
+  for (int d = 0; d < days; ++d) {
+    vectors.push_back(to_vector(usage_intensity_for_day(trace, d)));
+  }
+  for (std::size_t i = 0; i < m.n; ++i) {
+    for (std::size_t j = i + 1; j < m.n; ++j) {
+      const double r = pearson(vectors[i], vectors[j]);
+      m.values[i * m.n + j] = r;
+      m.values[j * m.n + i] = r;
+    }
+  }
+  return m;
+}
+
+}  // namespace netmaster::mining

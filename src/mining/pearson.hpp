@@ -1,0 +1,35 @@
+// Usage-pattern correlation analysis (the paper's Eq. 1 and Figs. 3–4).
+//
+// Usage vectors are 24-dimensional hourly intensity vectors. The paper
+// correlates them (a) across users — low average (~0.14), showing no
+// one-size-fits-all schedule exists — and (b) across days of one user —
+// high average (~0.82), showing per-user habits are predictable.
+#pragma once
+
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace netmaster::mining {
+
+/// Square matrix of Pearson coefficients, row-major.
+struct CorrelationMatrix {
+  std::size_t n = 0;
+  std::vector<double> values;  // n*n, values[i*n+j]
+
+  double at(std::size_t i, std::size_t j) const { return values[i * n + j]; }
+
+  /// Mean of the off-diagonal entries (the statistic the paper reports).
+  double off_diagonal_mean() const;
+};
+
+/// Pearson matrix between the whole-trace intensity vectors of every
+/// pair of users (Fig. 3).
+CorrelationMatrix cross_user_matrix(const TraceSet& traces);
+
+/// Pearson matrix between the per-day intensity vectors of one user
+/// over days [0, days) (Fig. 4 uses the first 8 days).
+CorrelationMatrix cross_day_matrix(const UserTrace& trace, int days);
+
+}  // namespace netmaster::mining

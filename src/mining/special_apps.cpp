@@ -1,0 +1,37 @@
+#include "mining/special_apps.hpp"
+
+#include <algorithm>
+
+namespace netmaster::mining {
+
+SpecialApps SpecialApps::detect(const UserTrace& history) {
+  SpecialApps result;
+  const std::size_t n = history.app_names.size();
+  std::vector<bool> used(n, false);
+  std::vector<bool> networked(n, false);
+  for (const AppUsage& u : history.usages) {
+    used[static_cast<std::size_t>(u.app)] = true;
+  }
+  for (const NetworkActivity& a : history.activities) {
+    networked[static_cast<std::size_t>(a.app)] = true;
+  }
+  result.special_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.special_[i] = used[i] && networked[i];
+  }
+  return result;
+}
+
+bool SpecialApps::is_special(AppId app) const {
+  if (app < 0) return false;
+  const auto idx = static_cast<std::size_t>(app);
+  if (idx >= special_.size()) return true;  // unseen app: conservative
+  return special_[idx];
+}
+
+std::size_t SpecialApps::count() const {
+  return static_cast<std::size_t>(
+      std::count(special_.begin(), special_.end(), true));
+}
+
+}  // namespace netmaster::mining

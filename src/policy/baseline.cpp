@@ -1,0 +1,16 @@
+#include "policy/baseline.hpp"
+
+namespace netmaster::policy {
+
+sim::PolicyOutcome BaselinePolicy::run(const UserTrace& eval) const {
+  sim::PolicyOutcome outcome;
+  outcome.policy_name = name();
+  outcome.transfers.reserve(eval.activities.size());
+  for (std::size_t i = 0; i < eval.activities.size(); ++i) {
+    const NetworkActivity& act = eval.activities[i];
+    outcome.transfers.push_back({i, act.start, act.duration});
+  }
+  return outcome;
+}
+
+}  // namespace netmaster::policy

@@ -1,0 +1,17 @@
+// Stock-Android baseline: every activity runs when its app asked for
+// it; the radio follows demand plus the RRC tail. This is the
+// "Without NetMaster" arm of §VI-A and the denominator of every
+// energy-saving fraction.
+#pragma once
+
+#include "policy/policy.hpp"
+
+namespace netmaster::policy {
+
+class BaselinePolicy final : public Policy {
+ public:
+  std::string name() const override { return "baseline"; }
+  sim::PolicyOutcome run(const UserTrace& eval) const override;
+};
+
+}  // namespace netmaster::policy

@@ -1,0 +1,73 @@
+#include "policy/batch.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace netmaster::policy {
+
+BatchPolicy::BatchPolicy(std::size_t max_batch) : max_batch_(max_batch) {}
+
+std::string BatchPolicy::name() const {
+  std::ostringstream os;
+  os << "batch(" << max_batch_ << ")";
+  return os.str();
+}
+
+sim::PolicyOutcome BatchPolicy::run(const UserTrace& eval) const {
+  sim::PolicyOutcome outcome;
+  outcome.policy_name = name();
+  const TimeMs horizon = eval.trace_end();
+
+  struct Pending {
+    std::size_t index;
+    TimeMs arrival;
+    DurationMs duration;
+  };
+  std::vector<Pending> queue;
+
+  auto flush = [&](TimeMs at) {
+    for (const Pending& p : queue) {
+      const DurationMs dur = deferred_duration(p.duration);
+      const TimeMs release = clamp_release(at, dur, horizon, p.arrival);
+      if (release > p.arrival) {
+        outcome.transfers.push_back({p.index, release, dur});
+        outcome.blocked.add(p.arrival, release);
+        outcome.deferral_latency_s.push_back(
+            to_seconds(release - p.arrival));
+      } else {
+        outcome.transfers.push_back({p.index, p.arrival, p.duration});
+      }
+    }
+    queue.clear();
+  };
+
+  // Screen-on edges flush the queue: iterate activities and sessions in
+  // time order.
+  auto session = eval.sessions.begin();
+
+  for (std::size_t i = 0; i < eval.activities.size(); ++i) {
+    const NetworkActivity& act = eval.activities[i];
+    // Flush at any screen-on edge preceding this activity.
+    while (session != eval.sessions.end() && session->begin <= act.start) {
+      flush(session->begin);
+      ++session;
+    }
+    if (!is_deferrable_screen_off(eval, act) || max_batch_ <= 1) {
+      outcome.transfers.push_back({i, act.start, act.duration});
+      continue;
+    }
+    queue.push_back({i, act.start, act.duration});
+    if (queue.size() >= max_batch_) flush(act.start);
+  }
+  // Remaining queue flushes at the next screen-on edge, else at the
+  // horizon.
+  if (!queue.empty()) {
+    const TimeMs flush_at =
+        session != eval.sessions.end() ? session->begin : horizon;
+    flush(flush_at);
+  }
+  return outcome;
+}
+
+}  // namespace netmaster::policy

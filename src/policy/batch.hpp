@@ -1,0 +1,27 @@
+// Batch-N aggregation ([2]): screen-off deferrable activities are held
+// in a queue; when N are pending they are all released together. The
+// queue also flushes when the user turns the screen on (the radio comes
+// up anyway) and at the end of the horizon. §VI-C sweeps N from 0 to 10
+// (Fig. 9); N <= 1 degenerates to the baseline for this traffic class.
+#pragma once
+
+#include <cstddef>
+
+#include "policy/policy.hpp"
+
+namespace netmaster::policy {
+
+class BatchPolicy final : public Policy {
+ public:
+  explicit BatchPolicy(std::size_t max_batch);
+
+  std::string name() const override;
+  sim::PolicyOutcome run(const UserTrace& eval) const override;
+
+  std::size_t max_batch() const { return max_batch_; }
+
+ private:
+  std::size_t max_batch_;
+};
+
+}  // namespace netmaster::policy

@@ -1,0 +1,47 @@
+#include "policy/delay.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace netmaster::policy {
+
+DelayPolicy::DelayPolicy(DurationMs interval_ms)
+    : interval_ms_(interval_ms) {
+  NM_REQUIRE(interval_ms > 0, "delay interval must be positive");
+}
+
+std::string DelayPolicy::name() const {
+  std::ostringstream os;
+  os << "delay(" << interval_ms_ / kMsPerSecond << "s)";
+  return os.str();
+}
+
+sim::PolicyOutcome DelayPolicy::run(const UserTrace& eval) const {
+  sim::PolicyOutcome outcome;
+  outcome.policy_name = name();
+  const TimeMs horizon = eval.trace_end();
+
+  for (std::size_t i = 0; i < eval.activities.size(); ++i) {
+    const NetworkActivity& act = eval.activities[i];
+    if (!is_deferrable_screen_off(eval, act)) {
+      outcome.transfers.push_back({i, act.start, act.duration});
+      continue;
+    }
+    // Quantize to the end of the containing delay window.
+    const TimeMs window_end =
+        (act.start / interval_ms_ + 1) * interval_ms_;
+    const DurationMs dur = deferred_duration(act.duration);
+    const TimeMs release = clamp_release(window_end, dur, horizon, act.start);
+    if (release > act.start) {
+      outcome.transfers.push_back({i, release, dur});
+      outcome.blocked.add(act.start, release);
+      outcome.deferral_latency_s.push_back(to_seconds(release - act.start));
+    } else {
+      outcome.transfers.push_back({i, act.start, act.duration});
+    }
+  }
+  return outcome;
+}
+
+}  // namespace netmaster::policy

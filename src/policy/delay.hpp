@@ -1,0 +1,26 @@
+// Fixed-interval delay-and-aggregate (the related work's method, [10]
+// uses 180 s windows and [2] 100 s). Screen-off deferrable activities
+// arriving in window [k·d, (k+1)·d) are all released together at the
+// window boundary (k+1)·d, during which the radio is held off. The
+// §VI-C sweep varies d from 1 s to 600 s (Fig. 8).
+#pragma once
+
+#include "common/time.hpp"
+#include "policy/policy.hpp"
+
+namespace netmaster::policy {
+
+class DelayPolicy final : public Policy {
+ public:
+  explicit DelayPolicy(DurationMs interval_ms);
+
+  std::string name() const override;
+  sim::PolicyOutcome run(const UserTrace& eval) const override;
+
+  DurationMs interval_ms() const { return interval_ms_; }
+
+ private:
+  DurationMs interval_ms_;
+};
+
+}  // namespace netmaster::policy

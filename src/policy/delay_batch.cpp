@@ -1,0 +1,86 @@
+#include "policy/delay_batch.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace netmaster::policy {
+
+DelayBatchPolicy::DelayBatchPolicy(DurationMs interval_ms)
+    : interval_ms_(interval_ms) {
+  NM_REQUIRE(interval_ms > 0, "delay interval must be positive");
+}
+
+std::string DelayBatchPolicy::name() const {
+  std::ostringstream os;
+  os << "delay&batch(" << interval_ms_ / kMsPerSecond << "s)";
+  return os.str();
+}
+
+sim::PolicyOutcome DelayBatchPolicy::run(const UserTrace& eval) const {
+  sim::PolicyOutcome outcome;
+  outcome.policy_name = name();
+  const TimeMs horizon = eval.trace_end();
+
+  struct Pending {
+    std::size_t index;
+    TimeMs arrival;
+    DurationMs duration;
+  };
+  std::vector<Pending> queue;
+
+  auto flush = [&](TimeMs at) {
+    for (const Pending& p : queue) {
+      const DurationMs dur = deferred_duration(p.duration);
+      const TimeMs release = clamp_release(at, dur, horizon, p.arrival);
+      if (release > p.arrival) {
+        outcome.transfers.push_back({p.index, release, dur});
+        outcome.blocked.add(p.arrival, release);
+        outcome.deferral_latency_s.push_back(
+            to_seconds(release - p.arrival));
+      } else {
+        outcome.transfers.push_back({p.index, p.arrival, p.duration});
+      }
+    }
+    queue.clear();
+  };
+
+  // Deadline of the oldest queued entry.
+  auto deadline = [&]() { return queue.front().arrival + interval_ms_; };
+
+  auto session = eval.sessions.begin();
+  for (std::size_t i = 0; i < eval.activities.size(); ++i) {
+    const NetworkActivity& act = eval.activities[i];
+    // Fire any timer/screen trigger preceding this activity.
+    while (!queue.empty()) {
+      const TimeMs timer = deadline();
+      const TimeMs screen =
+          session != eval.sessions.end() ? session->begin : horizon;
+      const TimeMs trigger = std::min(timer, screen);
+      if (trigger > act.start) break;
+      flush(trigger);
+      if (screen == trigger && session != eval.sessions.end()) ++session;
+    }
+    // Keep the session cursor moving even with an empty queue.
+    while (session != eval.sessions.end() && session->begin <= act.start) {
+      ++session;
+    }
+    if (!is_deferrable_screen_off(eval, act)) {
+      outcome.transfers.push_back({i, act.start, act.duration});
+      continue;
+    }
+    queue.push_back({i, act.start, act.duration});
+  }
+  while (!queue.empty()) {
+    const TimeMs timer = deadline();
+    const TimeMs screen =
+        session != eval.sessions.end() ? session->begin : horizon;
+    flush(std::min({timer, screen, horizon}));
+    if (session != eval.sessions.end() && screen <= timer) ++session;
+  }
+  return outcome;
+}
+
+}  // namespace netmaster::policy

@@ -1,0 +1,307 @@
+#include "policy/netmaster.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sched/overlap.hpp"
+
+namespace netmaster::policy {
+
+namespace {
+
+/// First actual screen session beginning at or after t; end() iterator
+/// when none.
+std::vector<ScreenSession>::const_iterator next_session_from(
+    const UserTrace& trace, TimeMs t) {
+  return std::lower_bound(
+      trace.sessions.begin(), trace.sessions.end(), t,
+      [](const ScreenSession& s, TimeMs v) { return s.begin < v; });
+}
+
+/// Begin of the last session starting inside [lo, hi); -1 when none.
+TimeMs last_session_begin_in(const UserTrace& trace, TimeMs lo, TimeMs hi) {
+  auto it = next_session_from(trace, hi);
+  if (it == trace.sessions.begin()) return -1;
+  --it;
+  return it->begin >= lo ? it->begin : -1;
+}
+
+/// Fills the radio-allowed set with per-transfer dormancy-grace windows
+/// (the transfers themselves are added by the accountant).
+sim::PolicyOutcome finalize(sim::PolicyOutcome outcome, TimeMs horizon) {
+  for (const sim::ExecutedTransfer& t : outcome.transfers) {
+    outcome.radio_allowed->add(
+        t.start, std::min(t.start + t.duration + kDormancyGraceMs, horizon));
+  }
+  return outcome;
+}
+
+/// Releases a fallback activity at the radio opportunity `at` (never
+/// before its arrival, always inside the horizon).
+void release_fallback(sim::PolicyOutcome& outcome,
+                      const std::vector<NetworkActivity>& pending,
+                      const std::vector<std::size_t>& pending_index,
+                      std::size_t p, TimeMs at, TimeMs horizon) {
+  const NetworkActivity& act = pending[p];
+  const DurationMs dur = deferred_duration(act.duration);
+  const TimeMs release = std::clamp<TimeMs>(
+      std::max(at, act.start), act.start, horizon - dur);
+  if (release > act.start) {
+    outcome.transfers.push_back({pending_index[p], release, dur});
+    outcome.deferral_latency_s.push_back(to_seconds(release - act.start));
+  } else {
+    outcome.transfers.push_back({pending_index[p], act.start, act.duration});
+  }
+}
+
+}  // namespace
+
+NetMasterPolicy::NetMasterPolicy(const UserTrace& training,
+                                 NetMasterConfig config)
+    : config_(config),
+      predictor_(mining::HabitModel::mine(training), config.predictor),
+      special_(mining::SpecialApps::detect(training)) {
+  NM_REQUIRE(config.eps > 0.0 && config.eps < 1.0,
+             "eps must be in (0, 1)");
+}
+
+sim::PolicyOutcome NetMasterPolicy::run(const UserTrace& eval) const {
+  sim::PolicyOutcome outcome;
+  outcome.policy_name = name();
+  const TimeMs horizon = eval.trace_end();
+
+  // NetMaster drives the data switch ("turns off radio whenever
+  // necessary", §VI-A): after each transfer the radio keeps a short
+  // dormancy grace, then the real-time adjustment forces it down —
+  // during screen-off time *and* inside user active slots. The allowed
+  // set is filled with per-transfer grace windows at the end of run();
+  // the accountant adds the transfers and duty probes themselves.
+  outcome.radio_allowed = IntervalSet{};
+
+  // ---- Prediction: the user-active slot set U over the horizon. ----
+  IntervalSet active;
+  if (config_.enable_prediction) {
+    for (int day = 0; day < eval.num_days; ++day) {
+      active.add(predictor_.predict_day(day).active_slots);
+    }
+  }
+  const std::vector<Interval>& slot_windows = active.intervals();
+  if (config_.slot_powered_radio) {
+    for (const Interval& w : slot_windows) outcome.radio_allowed->add(w);
+  }
+
+  // ---- Classification pass. ----
+  // Deferrable screen-off activities are held for a real radio-on
+  // opportunity; everything else runs untouched.
+  std::vector<NetworkActivity> pending;     // outside U: knapsack path
+  std::vector<std::size_t> pending_index;   // -> eval activity index
+  for (std::size_t i = 0; i < eval.activities.size(); ++i) {
+    const NetworkActivity& act = eval.activities[i];
+    const bool in_slot = active.contains(act.start);
+    if (is_deferrable_screen_off(eval, act)) {
+      if (!in_slot) {
+        pending.push_back(act);
+        pending_index.push_back(i);
+        continue;
+      }
+      if (config_.slot_powered_radio) {
+        // Fig. 10c configuration: traffic inside U runs untouched on
+        // the already-powered radio.
+        outcome.transfers.push_back({i, act.start, act.duration});
+        continue;
+      }
+      // Inside a predicted active slot: the user is expected soon. Hold
+      // the transfer for the next real session; if the user never shows
+      // before the slot closes, run at the slot boundary.
+      const auto sess = next_session_from(eval, act.start);
+      TimeMs release = sess != eval.sessions.end() ? sess->begin : horizon;
+      const auto slot = std::lower_bound(
+          slot_windows.begin(), slot_windows.end(), act.start,
+          [](const Interval& s, TimeMs t) { return s.end <= t; });
+      NM_ASSERT(slot != slot_windows.end() && slot->contains(act.start),
+                "active-set lookup must find the containing slot");
+      const DurationMs dur = deferred_duration(act.duration);
+      release = std::min(release, slot->end);
+      release = std::clamp<TimeMs>(release, act.start, horizon - dur);
+      if (release > act.start) {
+        outcome.transfers.push_back({i, release, dur});
+        outcome.deferral_latency_s.push_back(
+            to_seconds(release - act.start));
+      } else {
+        outcome.transfers.push_back({i, act.start, act.duration});
+      }
+      continue;
+    }
+
+    outcome.transfers.push_back({i, act.start, act.duration});
+    // Wrong-decision accounting (§VI-B): a user-driven transfer outside
+    // the predicted slots finds the radio off; the special-app check of
+    // the real-time adjustment rescues it unless disabled or the app is
+    // not special.
+    if (act.user_initiated && !in_slot) {
+      const bool rescued = config_.enable_special_apps &&
+                           special_.is_special(act.app);
+      if (!rescued) ++outcome.interrupts;
+    }
+  }
+
+  // ---- Knapsack scheduling over the pending set (§IV, Algorithm 1). ----
+  std::map<std::size_t, int> assignment;  // pending idx -> slot index
+  if (!slot_windows.empty() && !pending.empty()) {
+    const sched::Instance inst = sched::build_instance(
+        slot_windows, pending, predictor_, config_.profit);
+    const sched::OverlapSolution sol =
+        sched::solve_overlapped(inst.slots, inst.items, config_.eps);
+    for (const sched::OverlapAssignment& a : sol.assignments) {
+      assignment[inst.item_activity[static_cast<std::size_t>(a.item_id)]] =
+          a.slot_index;
+    }
+  }
+
+  std::vector<std::size_t> fallback;  // pending indices for duty path
+  for (std::size_t p = 0; p < pending.size(); ++p) {
+    const NetworkActivity& act = pending[p];
+    const auto it = assignment.find(p);
+    if (it == assignment.end()) {
+      fallback.push_back(p);
+      continue;
+    }
+    const Interval& slot =
+        slot_windows[static_cast<std::size_t>(it->second)];
+    const DurationMs dur = deferred_duration(act.duration);
+    TimeMs release;
+    if (slot.end <= act.start) {
+      // Prefetch into the preceding slot: the app is triggered to sync
+      // while the user is active, during a real session late in the
+      // slot; if the user never appeared, at the slot boundary.
+      const TimeMs sess_begin =
+          last_session_begin_in(eval, slot.begin, slot.end);
+      release = sess_begin >= 0
+                    ? sess_begin
+                    : std::max(slot.begin, slot.end - dur);
+      release = std::clamp<TimeMs>(release, 0, horizon - dur);
+      outcome.transfers.push_back({pending_index[p], release, dur});
+      continue;
+    }
+    // Defer toward the following slot, riding the first real session
+    // after the arrival (the real-time adjustment powers the radio for
+    // any session, even one before the slot). If no session shows up by
+    // the slot's end, run at the planned slot begin.
+    const auto sess = next_session_from(eval, act.start);
+    if (sess != eval.sessions.end() && sess->begin <= slot.end) {
+      release = sess->begin;
+    } else {
+      release = slot.begin;
+    }
+    release = std::clamp<TimeMs>(release, act.start, horizon - dur);
+    if (release > act.start) {
+      outcome.transfers.push_back({pending_index[p], release, dur});
+      outcome.deferral_latency_s.push_back(
+          to_seconds(release - act.start));
+    } else {
+      outcome.transfers.push_back(
+          {pending_index[p], act.start, act.duration});
+    }
+  }
+
+  // ---- Duty-cycle fallback path (§IV-C.2). ----
+  // The duty cycler owns every window outside U. Radio opportunities
+  // inside such a window are the periodic wake-up probes plus any real
+  // screen session (real-time adjustment); the window's end is a free
+  // opportunity too, since a predicted active slot begins there.
+  std::sort(fallback.begin(), fallback.end(),
+            [&](std::size_t a, std::size_t b) {
+              return pending[a].start < pending[b].start;
+            });
+
+  if (!config_.enable_duty) {
+    // Ablation: no probes; fall back to the next predicted slot or real
+    // session, else run in place.
+    for (std::size_t p : fallback) {
+      const NetworkActivity& act = pending[p];
+      TimeMs release = act.start;
+      const auto after = std::upper_bound(
+          slot_windows.begin(), slot_windows.end(), act.start,
+          [](TimeMs t, const Interval& s) { return t < s.begin; });
+      if (after != slot_windows.end()) release = after->begin;
+      const auto sess = next_session_from(eval, act.start);
+      if (sess != eval.sessions.end() && sess->begin < release) {
+        release = sess->begin;
+      }
+      release_fallback(outcome, pending, pending_index, p, release,
+                       horizon);
+    }
+    return finalize(std::move(outcome), horizon);
+  }
+
+  auto next_fb = fallback.begin();
+  const IntervalSet inactive = active.complement(0, horizon);
+  for (const Interval& window : inactive.intervals()) {
+    duty::DutyCycler cycler(config_.duty);
+    cycler.reset(window.begin);
+    auto sess = next_session_from(eval, window.begin);
+
+    while (true) {
+      const TimeMs wake = cycler.next_wake();
+      const TimeMs sess_begin =
+          (sess != eval.sessions.end() && sess->begin < window.end)
+              ? sess->begin
+              : window.end;
+      if (sess_begin <= wake) {
+        if (sess_begin >= window.end) break;
+        // Real session pre-empts the probe: serve pending arrivals,
+        // then restart the back-off after the session.
+        while (next_fb != fallback.end() &&
+               pending[*next_fb].start <= sess_begin) {
+          release_fallback(outcome, pending, pending_index, *next_fb,
+                           sess_begin, horizon);
+          ++next_fb;
+        }
+        cycler.notify_activity(sess->end);
+        ++sess;
+        continue;
+      }
+      if (wake >= window.end) break;
+      // Probe: productive when an arrival is waiting.
+      bool productive = false;
+      while (next_fb != fallback.end() &&
+             pending[*next_fb].start <= wake) {
+        release_fallback(outcome, pending, pending_index, *next_fb, wake,
+                         horizon);
+        ++outcome.duty_releases;
+        ++next_fb;
+        productive = true;
+      }
+      const DurationMs probe_window = std::min<DurationMs>(
+          config_.duty.wake_window_ms, window.end - wake);
+      outcome.wakes.push_back({wake, probe_window, productive});
+      if (productive) {
+        cycler.notify_activity(wake + probe_window);
+      } else {
+        cycler.advance_fruitless();
+      }
+    }
+    // The window ends at a predicted active slot (or the horizon):
+    // anything still waiting rides the slot's radio.
+    while (next_fb != fallback.end() &&
+           pending[*next_fb].start < window.end) {
+      release_fallback(outcome, pending, pending_index, *next_fb,
+                       window.end, horizon);
+      ++next_fb;
+    }
+  }
+  // Arrivals the walk never reached run in place (no inactive window
+  // covered them — only possible when prediction marked everything
+  // active).
+  for (; next_fb != fallback.end(); ++next_fb) {
+    const NetworkActivity& act = pending[*next_fb];
+    outcome.transfers.push_back(
+        {pending_index[*next_fb], act.start, act.duration});
+  }
+
+  return finalize(std::move(outcome), horizon);
+}
+
+}  // namespace netmaster::policy

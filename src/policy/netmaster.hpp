@@ -1,0 +1,80 @@
+// NetMasterPolicy — the paper's full system as an online policy.
+//
+// Construction mines the training trace (habit model + special apps).
+// At run time, for each evaluation day it predicts the user-active slot
+// set U (Eq. 2 with the δ thresholds) and the screen-off network-active
+// structure, builds the overlapped-knapsack instance over the pending
+// deferrable activities (§IV-A step 3), solves it with Algorithm 1
+// (ε = 0.1 by default, §V-C), and executes:
+//
+//   * activities assigned to a following slot release at that slot's
+//     begin — unless the user actually turns the screen on first, in
+//     which case the real-time adjustment powers the radio and the
+//     transfer piggybacks on the real session;
+//   * activities assigned to a preceding slot are prefetched: the app
+//     is triggered to sync during the slot (the transfer executes at
+//     the end of the slot);
+//   * unassigned / unpredicted activities fall back to the duty-cycle
+//     path: they release at the next wake-up probe (exponential
+//     back-off by default, §IV-C.2);
+//   * foreground usage outside predicted slots powers the radio when
+//     the app is a "Special App"; otherwise the user must re-enable
+//     data manually — a wrong decision, counted as an interrupt
+//     (§VI-B).
+//
+// Ablation switches knock out prediction, duty cycling, or special-app
+// tracking for the component analysis bench.
+#pragma once
+
+#include <cstdint>
+
+#include "duty/duty_cycle.hpp"
+#include "mining/habits.hpp"
+#include "mining/special_apps.hpp"
+#include "policy/policy.hpp"
+#include "sched/instance.hpp"
+
+namespace netmaster::policy {
+
+struct NetMasterConfig {
+  mining::PredictorConfig predictor;  ///< δ = 0.2 weekday / 0.1 weekend
+  sched::ProfitConfig profit;
+  double eps = 0.1;  ///< SinKnap ε (§V-C)
+  duty::DutyConfig duty;
+
+  // Ablation switches (all on = the paper's system).
+  bool enable_prediction = true;
+  bool enable_duty = true;
+  bool enable_special_apps = true;
+
+  /// When set, the radio stays powered across whole predicted active
+  /// slots (tails run freely inside U) and in-slot traffic is left
+  /// untouched, instead of the default aggressive in-slot dormancy.
+  /// This is the configuration of the paper's Fig. 10c threshold sweep:
+  /// it makes the δ tradeoff visible — small δ widens U and wastes
+  /// radio-on time, large δ narrows U and risks the user.
+  bool slot_powered_radio = false;
+};
+
+class NetMasterPolicy final : public Policy {
+ public:
+  /// Mines `training` and fixes the configuration. The evaluation trace
+  /// handed to run() must share the training trace's app population and
+  /// weekday alignment (slice evaluation windows at multiples of 7
+  /// days so Eq. 2's weekday/weekend split stays valid).
+  NetMasterPolicy(const UserTrace& training, NetMasterConfig config);
+
+  std::string name() const override { return "netmaster"; }
+  sim::PolicyOutcome run(const UserTrace& eval) const override;
+
+  const mining::SlotPredictor& predictor() const { return predictor_; }
+  const mining::SpecialApps& special_apps() const { return special_; }
+  const NetMasterConfig& config() const { return config_; }
+
+ private:
+  NetMasterConfig config_;
+  mining::SlotPredictor predictor_;
+  mining::SpecialApps special_;
+};
+
+}  // namespace netmaster::policy

@@ -1,0 +1,27 @@
+// Clairvoyant oracle: the offline optimum the paper uses as ground
+// truth ("we apply off-line analysis to derive the optimal results for
+// each volunteer", §VI-A). Knowing the actual screen sessions, it packs
+// every deferrable screen-off activity inside the nearest real screen
+// session with spare capacity, so the radio never powers up for
+// background traffic alone. No duty cycling, no interrupts.
+#pragma once
+
+#include "policy/policy.hpp"
+#include "sched/instance.hpp"
+
+namespace netmaster::policy {
+
+class OraclePolicy final : public Policy {
+ public:
+  /// `profit` supplies the capacity model (Eq. 5 bandwidth); the oracle
+  /// itself needs no prediction.
+  explicit OraclePolicy(sched::ProfitConfig profit = {});
+
+  std::string name() const override { return "oracle"; }
+  sim::PolicyOutcome run(const UserTrace& eval) const override;
+
+ private:
+  sched::ProfitConfig profit_;
+};
+
+}  // namespace netmaster::policy

@@ -1,0 +1,29 @@
+#include "policy/policy.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace netmaster::policy {
+
+bool is_deferrable_screen_off(const UserTrace& trace,
+                              const NetworkActivity& activity) {
+  return activity.deferrable && !trace.screen_on_at(activity.start);
+}
+
+TimeMs clamp_release(TimeMs release, DurationMs duration, TimeMs horizon,
+                     TimeMs not_before) {
+  NM_REQUIRE(duration >= 0, "duration must be non-negative");
+  NM_REQUIRE(not_before >= 0 && not_before + duration <= horizon,
+             "the original schedule must fit the horizon");
+  return std::clamp(release, not_before, horizon - duration);
+}
+
+DurationMs deferred_duration(DurationMs original) {
+  NM_REQUIRE(original >= 0, "duration must be non-negative");
+  const auto sped = static_cast<DurationMs>(
+      static_cast<double>(original) / kDchSpeedup);
+  return std::max<DurationMs>(sped, 500);
+}
+
+}  // namespace netmaster::policy

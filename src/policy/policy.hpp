@@ -1,0 +1,67 @@
+// Scheduling policies.
+//
+// A Policy replays an evaluation trace under its own rules and reports
+// a sim::PolicyOutcome. Policies must be online in spirit: decisions at
+// time t may use only the training data they were constructed with and
+// the events at or before t — except OraclePolicy, which is explicitly
+// the clairvoyant lower bound (§VI-A "off-line analysis to derive the
+// optimal results").
+//
+// Implementations:
+//   BaselinePolicy  — stock behaviour, everything at its original time
+//   DelayPolicy     — fixed-interval delay-and-aggregate ([10], [2])
+//   BatchPolicy     — aggregate up to N screen-off activities ([2])
+//   OraclePolicy    — clairvoyant packing into real screen sessions
+//   NetMasterPolicy — the paper's system (prediction + knapsack +
+//                     real-time adjustment)
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/outcome.hpp"
+#include "trace/trace.hpp"
+
+namespace netmaster::policy {
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Replays `eval` under this policy. The returned outcome executes
+  /// every activity of the trace exactly once within its horizon.
+  virtual sim::PolicyOutcome run(const UserTrace& eval) const = 0;
+};
+
+/// True when the activity is fair game for deferral: a deferrable
+/// (background) transfer that starts while the screen is off. This is
+/// the class the paper's optimizations target.
+bool is_deferrable_screen_off(const UserTrace& trace,
+                              const NetworkActivity& activity);
+
+/// Clamps a release time so that [release, release+duration) fits into
+/// [0, horizon) and never precedes `not_before`.
+TimeMs clamp_release(TimeMs release, DurationMs duration, TimeMs horizon,
+                     TimeMs not_before);
+
+/// How long a radio-switch-driving policy (NetMaster, oracle) keeps the
+/// radio up after a transfer before forcing dormancy — the release
+/// signalling delay of the §IV-C.2 real-time adjustment ("turning off
+/// the radio in the user active slots timely").
+inline constexpr DurationMs kDormancyGraceMs = 3000;
+
+/// Screen-off trickle transfers run on the slow shared channel (FACH)
+/// under stock Android — that is why Fig. 1b's screen-off rates sit
+/// below 1 kB/s. When a policy defers such a transfer and releases it
+/// in a batch, the same bytes move over the dedicated channel (DCH) at
+/// roughly the screen-on rate — this factor models that speedup and is
+/// granted to *every* deferring policy (delay, batch, delay&batch,
+/// oracle, NetMaster) alike.
+inline constexpr double kDchSpeedup = 6.0;
+
+/// Executed duration of a deferred screen-off transfer (floor 500 ms).
+DurationMs deferred_duration(DurationMs original);
+
+}  // namespace netmaster::policy

@@ -1,0 +1,164 @@
+#include "power/radio_model.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace netmaster {
+
+namespace {
+
+/// mW * ms -> joules.
+constexpr double energy_joules(double mw, DurationMs ms) {
+  return mw * static_cast<double>(ms) * 1e-6;
+}
+
+constexpr TimeMs kFar = std::numeric_limits<TimeMs>::max() / 4;
+
+/// End of the allowed window containing t; t itself when t is not
+/// covered (radio cut immediately); +inf-ish when unrestricted.
+TimeMs allowed_until(const IntervalSet* allowed, TimeMs t) {
+  if (allowed == nullptr) return kFar;
+  const auto& ivs = allowed->intervals();
+  const auto it = std::lower_bound(
+      ivs.begin(), ivs.end(), t,
+      [](const Interval& iv, TimeMs v) { return iv.end <= v; });
+  if (it != ivs.end() && it->begin <= t) return it->end;
+  return t;
+}
+
+}  // namespace
+
+RadioPowerParams RadioPowerParams::wcdma() { return RadioPowerParams{}; }
+
+RadioPowerParams RadioPowerParams::lte() {
+  RadioPowerParams p;
+  p.idle_mw = 11.0;
+  p.fach_mw = 1060.0;   // short-DRX tail power
+  p.dch_mw = 1210.0;    // RRC_CONNECTED continuous reception
+  p.promo_mw = 1210.0;
+  p.promo_idle_ms = 260;
+  p.promo_fach_ms = 0;  // DRX -> active needs no RRC promotion
+  p.dch_tail_ms = 200;  // continuous-reception inactivity timer
+  p.fach_tail_ms = 11400;  // DRX tail before RRC_IDLE
+  return p;
+}
+
+void RadioPowerParams::validate() const {
+  NM_REQUIRE(idle_mw >= 0 && fach_mw >= 0 && dch_mw >= 0 && promo_mw >= 0,
+             "power levels must be non-negative");
+  NM_REQUIRE(promo_idle_ms >= 0 && promo_fach_ms >= 0,
+             "promotion delays must be non-negative");
+  NM_REQUIRE(dch_tail_ms >= 0 && fach_tail_ms >= 0,
+             "tail timers must be non-negative");
+}
+
+double RadioAccounting::overhead_fraction() const {
+  // Everything that is not active transfer time is overhead. Using the
+  // time breakdown avoids carrying the parameter set into the result.
+  const auto total = static_cast<double>(radio_on_ms);
+  if (total <= 0.0) return 0.0;
+  return static_cast<double>(tail_ms() + promo_ms) / total;
+}
+
+RadioAccounting account_transfers(const IntervalSet& transfers,
+                                  const RadioPowerParams& params,
+                                  TimeMs horizon_end,
+                                  const IntervalSet* radio_allowed) {
+  params.validate();
+  RadioAccounting acc;
+
+  // `connected_until` is the end of the current DCH-active period,
+  // including the promotion shift applied to each transfer. A sentinel
+  // below any valid timestamp marks "never connected yet".
+  constexpr TimeMs kNever = std::numeric_limits<TimeMs>::min();
+  TimeMs connected_until = kNever;
+
+  // Charges the tail that ran from `connected_until` until `stop`
+  // (bounded by the tail timers themselves).
+  const auto charge_tail = [&](TimeMs from, TimeMs stop) {
+    const DurationMs span = std::max<DurationMs>(stop - from, 0);
+    const DurationMs dch = std::min(span, params.dch_tail_ms);
+    acc.tail_dch_ms += dch;
+    acc.tail_fach_ms += std::min(span - dch, params.fach_tail_ms);
+  };
+
+  for (const Interval& iv : transfers.intervals()) {
+    NM_REQUIRE(iv.end <= horizon_end,
+               "transfer extends beyond the accounting horizon");
+    if (radio_allowed != nullptr) {
+      NM_REQUIRE(radio_allowed->contains(iv.begin),
+                 "transfer outside the radio-allowed set");
+    }
+    const DurationMs dur = iv.length();
+    TimeMs active_begin = iv.begin;
+    DurationMs promo = 0;
+
+    if (connected_until == kNever) {
+      promo = params.promo_idle_ms;
+    } else if (iv.begin <= connected_until) {
+      // Arrives while DCH is still busy (possibly during a promotion
+      // shift): the connected period simply extends.
+      active_begin = connected_until;
+    } else {
+      // The radio was tailing after the previous transfer; the tail
+      // survives until the allowed window closes (or forever when
+      // unrestricted).
+      const TimeMs cut = allowed_until(radio_allowed, connected_until);
+      const TimeMs warm_dch_end = connected_until + params.dch_tail_ms;
+      const TimeMs warm_fach_end = warm_dch_end + params.fach_tail_ms;
+      const TimeMs tail_stop =
+          std::min({iv.begin, cut, warm_fach_end});
+      charge_tail(connected_until, tail_stop);
+
+      if (iv.begin <= cut && iv.begin < warm_dch_end) {
+        // Still in the DCH tail: no promotion.
+      } else if (iv.begin <= cut && iv.begin < warm_fach_end) {
+        promo = params.promo_fach_ms;
+      } else {
+        // The radio reached IDLE (tail expired or was cut).
+        promo = params.promo_idle_ms;
+      }
+    }
+
+    if (promo > 0) ++acc.promotions;
+    acc.promo_ms += promo;
+    acc.active_ms += dur;
+    connected_until = active_begin + promo + dur;
+  }
+
+  // Trailing tail after the final transfer, clipped at the horizon and
+  // the allowed window.
+  if (connected_until != kNever && connected_until < horizon_end) {
+    const TimeMs cut = allowed_until(radio_allowed, connected_until);
+    const TimeMs stop = std::min(
+        {horizon_end, cut,
+         connected_until + params.dch_tail_ms + params.fach_tail_ms});
+    charge_tail(connected_until, stop);
+  }
+
+  acc.radio_on_ms =
+      acc.active_ms + acc.tail_dch_ms + acc.tail_fach_ms + acc.promo_ms;
+  acc.energy_j = energy_joules(params.dch_mw, acc.active_ms) +
+                 energy_joules(params.dch_mw, acc.tail_dch_ms) +
+                 energy_joules(params.fach_mw, acc.tail_fach_ms) +
+                 energy_joules(params.promo_mw, acc.promo_ms);
+  return acc;
+}
+
+double isolated_activity_energy(DurationMs transfer_ms,
+                                const RadioPowerParams& params) {
+  NM_REQUIRE(transfer_ms >= 0, "transfer duration must be non-negative");
+  return energy_joules(params.promo_mw, params.promo_idle_ms) +
+         energy_joules(params.dch_mw, transfer_ms + params.dch_tail_ms) +
+         energy_joules(params.fach_mw, params.fach_tail_ms);
+}
+
+double piggybacked_activity_energy(DurationMs transfer_ms,
+                                   const RadioPowerParams& params) {
+  NM_REQUIRE(transfer_ms >= 0, "transfer duration must be non-negative");
+  return energy_joules(params.dch_mw, transfer_ms);
+}
+
+}  // namespace netmaster

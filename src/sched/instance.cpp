@@ -1,0 +1,108 @@
+#include "sched/instance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace netmaster::sched {
+
+double energy_saving_j(const NetworkActivity& activity,
+                       const ProfitConfig& config) {
+  return isolated_activity_energy(activity.duration, config.radio) -
+         piggybacked_activity_energy(activity.duration, config.radio);
+}
+
+double deferral_penalty_j(TimeMs from, TimeMs to,
+                          const mining::SlotPredictor& predictor,
+                          const ProfitConfig& config) {
+  const TimeMs lo = std::min(from, to);
+  const TimeMs hi = std::max(from, to);
+  const double window_s = to_seconds(hi - lo);
+  const double pr_integral_s =
+      predictor.active_probability_integral(lo, hi);
+  return config.et_j_per_s2 * window_s * pr_integral_s;
+}
+
+std::int64_t slot_capacity_bytes(const Interval& slot,
+                                 const ProfitConfig& config) {
+  NM_REQUIRE(config.bandwidth_kbps > 0.0, "bandwidth must be positive");
+  return static_cast<std::int64_t>(config.bandwidth_kbps * 1000.0 *
+                                   to_seconds(slot.length()));
+}
+
+TimeMs assignment_anchor(const Interval& slot, TimeMs activity_time) {
+  if (slot.end <= activity_time) return slot.end;    // preceding slot
+  if (slot.begin >= activity_time) return slot.begin;  // following slot
+  return activity_time;  // activity already inside the slot
+}
+
+Instance build_instance(std::span<const Interval> active_slots,
+                        std::span<const NetworkActivity> pending,
+                        const mining::SlotPredictor& predictor,
+                        const ProfitConfig& config) {
+  Instance inst;
+  inst.slot_windows.assign(active_slots.begin(), active_slots.end());
+  std::sort(inst.slot_windows.begin(), inst.slot_windows.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.begin < b.begin;
+            });
+  for (std::size_t i = 0; i < inst.slot_windows.size(); ++i) {
+    NM_REQUIRE(i == 0 ||
+                   inst.slot_windows[i].begin >= inst.slot_windows[i - 1].end,
+               "active slots must be disjoint");
+    inst.slots.push_back(
+        {static_cast<int>(i),
+         slot_capacity_bytes(inst.slot_windows[i], config)});
+  }
+
+  int next_id = 0;
+  for (std::size_t a = 0; a < pending.size(); ++a) {
+    const NetworkActivity& act = pending[a];
+    NM_REQUIRE(act.deferrable, "only deferrable activities are schedulable");
+
+    // Locate the first slot beginning after the activity.
+    const auto after = std::upper_bound(
+        inst.slot_windows.begin(), inst.slot_windows.end(), act.start,
+        [](TimeMs t, const Interval& s) { return t < s.begin; });
+    const int next_slot =
+        after == inst.slot_windows.end()
+            ? -1
+            : static_cast<int>(after - inst.slot_windows.begin());
+    int prev_slot = -1;
+    if (after != inst.slot_windows.begin()) {
+      const auto before = std::prev(after);
+      if (before->end > act.start) continue;  // already inside a slot
+      prev_slot = static_cast<int>(before - inst.slot_windows.begin());
+    }
+    if (prev_slot < 0 && next_slot < 0) {
+      inst.unschedulable.push_back(a);
+      continue;
+    }
+
+    // The paper computes one ΔP per activity (the forward deferral
+    // window, Eq. 4) and reuses it for the duplicated copy; fall back
+    // to the prefetch window when no following slot exists.
+    const TimeMs anchor =
+        next_slot >= 0
+            ? assignment_anchor(
+                  inst.slot_windows[static_cast<std::size_t>(next_slot)],
+                  act.start)
+            : assignment_anchor(
+                  inst.slot_windows[static_cast<std::size_t>(prev_slot)],
+                  act.start);
+
+    OverlapItem item;
+    item.id = next_id++;
+    item.weight = act.total_bytes();
+    item.profit = energy_saving_j(act, config) -
+                  deferral_penalty_j(act.start, anchor, predictor, config);
+    item.prev_slot = prev_slot;
+    item.next_slot = next_slot;
+    inst.items.push_back(item);
+    inst.item_activity.push_back(a);
+  }
+  return inst;
+}
+
+}  // namespace netmaster::sched

@@ -1,0 +1,85 @@
+// Profit model and scheduling-instance construction (§IV-A step 3).
+//
+// Bridges the mined predictions and the radio power model to the
+// abstract overlapped-knapsack solver:
+//   - ΔE(n)  = isolated radio energy of the activity minus its marginal
+//              cost when piggybacked into an already-on radio period
+//              (the paper's g function over the RRC model),
+//   - ΔP(n)  = Eq. 4: the et-scaled product of the deferral window
+//              length and the integral of Pr[u(t)] across it,
+//   - C(ti)  = Eq. 5: carrier bandwidth times the slot length.
+//
+// Items are built per activity with candidate slots = the adjacent
+// predicted user-active slots; the paper's convention computes ΔP (and
+// hence the item profit) once, for the forward deferral window, and
+// reuses it for the duplicated copy.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/interval.hpp"
+#include "mining/habits.hpp"
+#include "power/radio_model.hpp"
+#include "sched/overlap.hpp"
+#include "trace/trace.hpp"
+
+namespace netmaster::sched {
+
+/// Parameters of the profit/penalty/capacity model.
+struct ProfitConfig {
+  RadioPowerParams radio = RadioPowerParams::wcdma();
+  /// Eq. 4 scaling factor, converting (window seconds × probability
+  /// seconds) into joules. Chosen so a deferral of ~30 min across a
+  /// Pr=0.5 region roughly cancels one activity's tail saving.
+  double et_j_per_s2 = 2e-6;
+  /// Eq. 5 average carrier bandwidth in kB/s (WCDMA-era figure).
+  double bandwidth_kbps = 25.0;
+};
+
+/// Energy the policy saves by absorbing this activity into a slot where
+/// the radio is on anyway: the isolated-cost/piggyback-cost difference.
+double energy_saving_j(const NetworkActivity& activity,
+                       const ProfitConfig& config);
+
+/// Eq. 4 penalty for deferring an activity at `from` to slot anchor
+/// `to` (from <= to or to <= from, both directions are charged by
+/// window length).
+double deferral_penalty_j(TimeMs from, TimeMs to,
+                          const mining::SlotPredictor& predictor,
+                          const ProfitConfig& config);
+
+/// Eq. 5 slot capacity in bytes.
+std::int64_t slot_capacity_bytes(const Interval& slot,
+                                 const ProfitConfig& config);
+
+/// A fully-built scheduling instance for one horizon.
+struct Instance {
+  std::vector<OverlapSlot> slots;
+  std::vector<Interval> slot_windows;   ///< parallel to slots
+  std::vector<OverlapItem> items;
+  /// items[i] corresponds to pending[item_activity[i]] in the builder's
+  /// input span.
+  std::vector<std::size_t> item_activity;
+  /// Activities that were not schedulable (no adjacent slot).
+  std::vector<std::size_t> unschedulable;
+};
+
+/// Builds the overlapped-knapsack instance: one knapsack per predicted
+/// user-active slot, one item per pending deferrable activity, with
+/// candidate slots the nearest active slots before/after the activity.
+/// Activities already inside an active slot are excluded (they run
+/// for free) and reported in neither list.
+Instance build_instance(std::span<const Interval> active_slots,
+                        std::span<const NetworkActivity> pending,
+                        const mining::SlotPredictor& predictor,
+                        const ProfitConfig& config);
+
+/// The anchor time at which an activity assigned to a slot executes:
+/// the slot's end for a preceding slot (latest prefetch moment) and the
+/// slot's begin for a following slot (earliest deferral moment) —
+/// minimizing the deferral window either way.
+TimeMs assignment_anchor(const Interval& slot, TimeMs activity_time);
+
+}  // namespace netmaster::sched

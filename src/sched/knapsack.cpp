@@ -1,0 +1,218 @@
+#include "sched/knapsack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace netmaster::sched {
+
+namespace {
+
+/// Items sorted by profit/weight nonincreasing (zero-weight first).
+std::vector<std::size_t> ratio_order(std::span<const KnapItem> items) {
+  std::vector<std::size_t> order(items.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const KnapItem& x = items[a];
+    const KnapItem& y = items[b];
+    // Compare x.profit/x.weight vs y.profit/y.weight without division;
+    // zero-weight items sort first (infinite ratio).
+    if (x.weight == 0 || y.weight == 0) {
+      if (x.weight == 0 && y.weight == 0) return x.profit > y.profit;
+      return x.weight == 0;
+    }
+    return x.profit * static_cast<double>(y.weight) >
+           y.profit * static_cast<double>(x.weight);
+  });
+  return order;
+}
+
+void validate_items(std::span<const KnapItem> items) {
+  for (const KnapItem& item : items) {
+    NM_REQUIRE(item.weight >= 0, "item weights must be non-negative");
+    NM_REQUIRE(std::isfinite(item.profit), "item profits must be finite");
+  }
+}
+
+}  // namespace
+
+KnapResult knapsack_exact(std::span<const KnapItem> items,
+                          std::int64_t capacity) {
+  NM_REQUIRE(capacity >= 0, "capacity must be non-negative");
+  validate_items(items);
+  const std::size_t n = items.size();
+  const auto cap = static_cast<std::size_t>(capacity);
+  NM_REQUIRE(cap <= 4'000'000, "exact DP capacity too large");
+  NM_REQUIRE(n * (cap + 1) <= 400'000'000,
+             "exact DP instance too large");
+
+  // best[w] = max profit using a prefix of items within weight w;
+  // take[i] records, per weight, whether item i was taken at that cell.
+  std::vector<double> best(cap + 1, 0.0);
+  std::vector<std::vector<bool>> take(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    take[i].assign(cap + 1, false);
+    const auto w = static_cast<std::size_t>(items[i].weight);
+    const double p = items[i].profit;
+    if (p <= 0.0 || w > cap) continue;  // never beneficial
+    for (std::size_t c = cap + 1; c-- > w;) {
+      const double candidate = best[c - w] + p;
+      if (candidate > best[c]) {
+        best[c] = candidate;
+        take[i][c] = true;
+      }
+    }
+  }
+
+  KnapResult result;
+  std::size_t c = cap;
+  for (std::size_t i = n; i-- > 0;) {
+    if (take[i][c]) {
+      result.chosen.push_back(items[i].id);
+      result.profit += items[i].profit;
+      result.weight += items[i].weight;
+      c -= static_cast<std::size_t>(items[i].weight);
+    }
+  }
+  std::reverse(result.chosen.begin(), result.chosen.end());
+  return result;
+}
+
+KnapResult knapsack_greedy(std::span<const KnapItem> items,
+                           std::int64_t capacity) {
+  NM_REQUIRE(capacity >= 0, "capacity must be non-negative");
+  validate_items(items);
+  KnapResult result;
+  std::int64_t remaining = capacity;
+  for (std::size_t idx : ratio_order(items)) {
+    const KnapItem& item = items[idx];
+    if (item.profit <= 0.0) continue;
+    if (item.weight <= remaining) {
+      result.chosen.push_back(item.id);
+      result.profit += item.profit;
+      result.weight += item.weight;
+      remaining -= item.weight;
+    }
+  }
+  return result;
+}
+
+KnapResult knapsack_fptas(std::span<const KnapItem> items,
+                          std::int64_t capacity, double eps) {
+  NM_REQUIRE(capacity >= 0, "capacity must be non-negative");
+  NM_REQUIRE(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
+  validate_items(items);
+
+  // Partition: always-take zero-weight profitable items; candidates are
+  // profitable items that fit.
+  KnapResult result;
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const KnapItem& item = items[i];
+    if (item.profit <= 0.0 || item.weight > capacity) continue;
+    if (item.weight == 0) {
+      result.chosen.push_back(item.id);
+      result.profit += item.profit;
+    } else {
+      candidates.push_back(i);
+    }
+  }
+  if (candidates.empty()) return result;
+
+  double pmax = 0.0;
+  for (std::size_t i : candidates) pmax = std::max(pmax, items[i].profit);
+  const auto n = static_cast<double>(candidates.size());
+  const double scale = eps * pmax / n;
+  NM_ASSERT(scale > 0.0, "profit scale must be positive");
+
+  // Scaled profits; total bounded by n * (n/eps + 1).
+  std::vector<std::int64_t> scaled(candidates.size());
+  std::int64_t total_scaled = 0;
+  for (std::size_t k = 0; k < candidates.size(); ++k) {
+    scaled[k] = static_cast<std::int64_t>(
+        std::floor(items[candidates[k]].profit / scale));
+    total_scaled += scaled[k];
+  }
+  NM_REQUIRE(total_scaled <= 50'000'000,
+             "FPTAS profit table too large; increase eps");
+  NM_REQUIRE(static_cast<double>(candidates.size()) *
+                 static_cast<double>(total_scaled + 1) <=
+             4e8, "FPTAS choice table too large; increase eps");
+
+  // min_weight[s] = least weight achieving scaled profit exactly s.
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+  std::vector<std::int64_t> min_weight(
+      static_cast<std::size_t>(total_scaled) + 1, kInf);
+  min_weight[0] = 0;
+  std::vector<std::vector<bool>> take(candidates.size());
+
+  std::int64_t reach = 0;  // highest scaled profit reachable so far
+  for (std::size_t k = 0; k < candidates.size(); ++k) {
+    const KnapItem& item = items[candidates[k]];
+    const std::int64_t sp = scaled[k];
+    take[k].assign(static_cast<std::size_t>(total_scaled) + 1, false);
+    if (sp == 0) continue;  // contributes < scale; GreedyAdd-style callers
+                            // can still pick it up, the bound holds anyway
+    reach = std::min(reach + sp, total_scaled);
+    for (std::int64_t s = reach; s >= sp; --s) {
+      const std::int64_t base = min_weight[static_cast<std::size_t>(s - sp)];
+      if (base == kInf) continue;
+      const std::int64_t w = base + item.weight;
+      if (w < min_weight[static_cast<std::size_t>(s)]) {
+        min_weight[static_cast<std::size_t>(s)] = w;
+        take[k][static_cast<std::size_t>(s)] = true;
+      }
+    }
+  }
+
+  std::int64_t best_s = 0;
+  for (std::int64_t s = total_scaled; s > 0; --s) {
+    if (min_weight[static_cast<std::size_t>(s)] <= capacity) {
+      best_s = s;
+      break;
+    }
+  }
+
+  // Reconstruct the chosen set.
+  std::int64_t s = best_s;
+  for (std::size_t k = candidates.size(); k-- > 0;) {
+    if (s > 0 && take[k][static_cast<std::size_t>(s)]) {
+      const KnapItem& item = items[candidates[k]];
+      result.chosen.push_back(item.id);
+      result.profit += item.profit;
+      result.weight += item.weight;
+      s -= scaled[k];
+    }
+  }
+  NM_ASSERT(s == 0, "FPTAS reconstruction must consume the profit");
+  NM_ASSERT(result.weight <= capacity, "FPTAS result exceeds capacity");
+  return result;
+}
+
+double fractional_upper_bound(std::span<const KnapItem> items,
+                              std::int64_t capacity) {
+  NM_REQUIRE(capacity >= 0, "capacity must be non-negative");
+  validate_items(items);
+  double bound = 0.0;
+  std::int64_t remaining = capacity;
+  for (std::size_t idx : ratio_order(items)) {
+    const KnapItem& item = items[idx];
+    if (item.profit <= 0.0) continue;
+    if (item.weight <= remaining) {
+      bound += item.profit;
+      remaining -= item.weight;
+    } else {
+      if (item.weight > 0 && remaining > 0) {
+        bound += item.profit * static_cast<double>(remaining) /
+                 static_cast<double>(item.weight);
+      }
+      break;
+    }
+  }
+  return bound;
+}
+
+}  // namespace netmaster::sched

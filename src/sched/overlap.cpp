@@ -1,0 +1,258 @@
+#include "sched/overlap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/error.hpp"
+#include "sched/knapsack.hpp"
+
+namespace netmaster::sched {
+
+namespace {
+
+void validate_instance(std::span<const OverlapSlot> slots,
+                       std::span<const OverlapItem> items) {
+  for (const OverlapSlot& slot : slots) {
+    NM_REQUIRE(slot.capacity >= 0, "slot capacity must be non-negative");
+  }
+  const int n = static_cast<int>(slots.size());
+  std::map<int, int> seen_ids;
+  for (const OverlapItem& item : items) {
+    NM_REQUIRE(item.weight >= 0, "item weight must be non-negative");
+    NM_REQUIRE(item.prev_slot >= -1 && item.prev_slot < n,
+               "prev_slot out of range");
+    NM_REQUIRE(item.next_slot >= -1 && item.next_slot < n,
+               "next_slot out of range");
+    NM_REQUIRE(item.prev_slot != item.next_slot || item.prev_slot == -1,
+               "candidate slots must differ");
+    NM_REQUIRE(++seen_ids[item.id] == 1, "item ids must be unique");
+  }
+}
+
+}  // namespace
+
+void check_feasible(std::span<const OverlapSlot> slots,
+                    std::span<const OverlapItem> items,
+                    const OverlapSolution& solution) {
+  std::map<int, const OverlapItem*> by_id;
+  for (const OverlapItem& item : items) by_id[item.id] = &item;
+
+  std::vector<std::int64_t> used(slots.size(), 0);
+  std::map<int, int> times_assigned;
+  double profit = 0.0;
+  for (const OverlapAssignment& a : solution.assignments) {
+    const auto it = by_id.find(a.item_id);
+    NM_REQUIRE(it != by_id.end(), "assignment references unknown item");
+    const OverlapItem& item = *it->second;
+    NM_REQUIRE(a.slot_index == item.prev_slot ||
+                   a.slot_index == item.next_slot,
+               "item assigned to a non-candidate slot");
+    NM_REQUIRE(++times_assigned[a.item_id] == 1,
+               "item assigned more than once");
+    used[static_cast<std::size_t>(a.slot_index)] += item.weight;
+    profit += item.profit;
+  }
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    NM_REQUIRE(used[i] <= slots[i].capacity, "slot capacity exceeded");
+  }
+  NM_REQUIRE(std::abs(profit - solution.total_profit) <=
+                 1e-6 * std::max(1.0, std::abs(profit)),
+             "reported profit does not match assignments");
+}
+
+OverlapSolution solve_overlapped(std::span<const OverlapSlot> slots,
+                                 std::span<const OverlapItem> items,
+                                 double eps) {
+  NM_REQUIRE(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
+  validate_instance(slots, items);
+
+  std::map<int, const OverlapItem*> by_id;
+  for (const OverlapItem& item : items) by_id[item.id] = &item;
+
+  // Step 1 (duplication): per-slot itemsets, each item in both
+  // candidate slots.
+  std::vector<std::vector<KnapItem>> slot_items(slots.size());
+  for (const OverlapItem& item : items) {
+    for (int s : {item.prev_slot, item.next_slot}) {
+      if (s >= 0) {
+        slot_items[static_cast<std::size_t>(s)].push_back(
+            {item.id, item.profit, item.weight});
+      }
+    }
+  }
+
+  // Step 2 (sorting) + step 3 (SinKnap per slot). The FPTAS does not
+  // require sorted input, but we keep the paper's ordering so the
+  // per-slot itemsets match Algorithm 1 line by line (and ties in the
+  // later greedy step resolve in ratio order).
+  std::vector<std::vector<int>> chosen_per_slot(slots.size());
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    auto& list = slot_items[s];
+    std::sort(list.begin(), list.end(),
+              [](const KnapItem& a, const KnapItem& b) {
+                if (a.weight == 0 || b.weight == 0) {
+                  if (a.weight == 0 && b.weight == 0)
+                    return a.profit > b.profit;
+                  return a.weight == 0;
+                }
+                return a.profit * static_cast<double>(b.weight) >
+                       b.profit * static_cast<double>(a.weight);
+              });
+    chosen_per_slot[s] =
+        knapsack_fptas(list, slots[s].capacity, eps).chosen;
+  }
+
+  // Step 4a (filtering): an item selected in both slots keeps the slot
+  // with the smaller C(ti) − V(nj) — the tighter fit — leaving the
+  // roomier slot free for GreedyAdd.
+  std::map<int, std::vector<int>> slots_of_item;
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    for (int id : chosen_per_slot[s]) {
+      slots_of_item[id].push_back(static_cast<int>(s));
+    }
+  }
+
+  OverlapSolution solution;
+  solution.slot_used.assign(slots.size(), 0);
+  std::map<int, bool> assigned;
+  for (const auto& [id, cand] : slots_of_item) {
+    const OverlapItem& item = *by_id.at(id);
+    int slot = cand.front();
+    if (cand.size() == 2) {
+      const std::int64_t r0 =
+          slots[static_cast<std::size_t>(cand[0])].capacity - item.weight;
+      const std::int64_t r1 =
+          slots[static_cast<std::size_t>(cand[1])].capacity - item.weight;
+      slot = r0 <= r1 ? cand[0] : cand[1];
+    }
+    solution.assignments.push_back({id, slot});
+    solution.slot_used[static_cast<std::size_t>(slot)] += item.weight;
+    solution.total_profit += item.profit;
+    assigned[id] = true;
+  }
+
+  // Capacity cannot overflow after filtering: each slot only lost items
+  // relative to its feasible SinKnap packing.
+  // Step 4b (GreedyAdd): fill residual capacity with still-unassigned
+  // items, best ratio first.
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    std::int64_t residual =
+        slots[s].capacity - solution.slot_used[s];
+    for (const KnapItem& ki : slot_items[s]) {  // already ratio-sorted
+      if (assigned.count(ki.id) || ki.profit <= 0.0) continue;
+      if (ki.weight <= residual) {
+        solution.assignments.push_back({ki.id, static_cast<int>(s)});
+        solution.slot_used[s] += ki.weight;
+        solution.total_profit += ki.profit;
+        residual -= ki.weight;
+        assigned[ki.id] = true;
+      }
+    }
+  }
+
+  check_feasible(slots, items, solution);
+  return solution;
+}
+
+OverlapSolution solve_overlapped_greedy(std::span<const OverlapSlot> slots,
+                                        std::span<const OverlapItem> items) {
+  validate_instance(slots, items);
+
+  std::vector<std::size_t> order(items.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const OverlapItem& x = items[a];
+    const OverlapItem& y = items[b];
+    if (x.weight == 0 || y.weight == 0) {
+      if (x.weight == 0 && y.weight == 0) return x.profit > y.profit;
+      return x.weight == 0;
+    }
+    return x.profit * static_cast<double>(y.weight) >
+           y.profit * static_cast<double>(x.weight);
+  });
+
+  OverlapSolution solution;
+  solution.slot_used.assign(slots.size(), 0);
+  for (std::size_t idx : order) {
+    const OverlapItem& item = items[idx];
+    if (item.profit <= 0.0) continue;
+    int best = -1;
+    std::int64_t best_residual = 0;
+    for (int s : {item.prev_slot, item.next_slot}) {
+      if (s < 0) continue;
+      const std::int64_t residual =
+          slots[static_cast<std::size_t>(s)].capacity -
+          solution.slot_used[static_cast<std::size_t>(s)];
+      if (residual < item.weight) continue;
+      if (best < 0 || residual < best_residual) {
+        best = s;
+        best_residual = residual;
+      }
+    }
+    if (best < 0) continue;
+    solution.assignments.push_back({item.id, best});
+    solution.slot_used[static_cast<std::size_t>(best)] += item.weight;
+    solution.total_profit += item.profit;
+  }
+
+  check_feasible(slots, items, solution);
+  return solution;
+}
+
+OverlapSolution solve_overlapped_exact(std::span<const OverlapSlot> slots,
+                                       std::span<const OverlapItem> items) {
+  validate_instance(slots, items);
+  NM_REQUIRE(items.size() <= 18, "exact solver limited to 18 items");
+
+  std::vector<std::int64_t> used(slots.size(), 0);
+  std::vector<int> choice(items.size(), -1);  // -1 none, else slot index
+
+  OverlapSolution best;
+  best.slot_used.assign(slots.size(), 0);
+  double best_profit = -1.0;
+
+  // Depth-first enumeration with capacity pruning.
+  auto recurse = [&](auto&& self, std::size_t i, double profit) -> void {
+    if (i == items.size()) {
+      if (profit > best_profit) {
+        best_profit = profit;
+        best.assignments.clear();
+        for (std::size_t j = 0; j < items.size(); ++j) {
+          if (choice[j] >= 0) {
+            best.assignments.push_back({items[j].id, choice[j]});
+          }
+        }
+        best.total_profit = profit;
+        best.slot_used = used;
+      }
+      return;
+    }
+    const OverlapItem& item = items[i];
+    // Skip.
+    choice[i] = -1;
+    self(self, i + 1, profit);
+    // Assign to each feasible candidate (only if profitable — dropping
+    // non-positive items never hurts the optimum).
+    if (item.profit > 0.0) {
+      for (int s : {item.prev_slot, item.next_slot}) {
+        if (s < 0) continue;
+        auto& u = used[static_cast<std::size_t>(s)];
+        if (u + item.weight <=
+            slots[static_cast<std::size_t>(s)].capacity) {
+          u += item.weight;
+          choice[i] = s;
+          self(self, i + 1, profit + item.profit);
+          choice[i] = -1;
+          u -= item.weight;
+        }
+      }
+    }
+  };
+  recurse(recurse, 0, 0.0);
+
+  check_feasible(slots, items, best);
+  return best;
+}
+
+}  // namespace netmaster::sched

@@ -1,0 +1,82 @@
+// Multiple knapsack with overlapped itemsets — the paper's Algorithm 1.
+//
+// Each deferrable screen-off activity (item) sits between two adjacent
+// predicted user-active slots and may be scheduled into either one
+// (prefetch into the earlier slot or defer into the later slot), so the
+// per-slot itemsets overlap. Algorithm 1 solves this with a
+// (1−ε)/2-approximation:
+//   1. Duplication — put each item into both candidate slots.
+//   2. Sorting — order each slot's items by profit/weight.
+//   3. Dynamic programming — run SinKnap (the (1−ε) FPTAS) per slot.
+//   4. Filtering — an item chosen twice keeps the slot with smaller
+//      C(ti) − V(nj) and is deleted from the other; then GreedyAdd
+//      fills remaining capacity with unassigned items.
+//
+// `solve_overlapped_exact` is a brute-force ground truth for small
+// instances, used to verify the (1−ε)/2 bound empirically.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace netmaster::sched {
+
+/// One schedulable activity. Profit is ΔE − ΔP; per the paper a
+/// duplicated item has the same profit in both candidate slots.
+struct OverlapItem {
+  int id = 0;
+  std::int64_t weight = 0;  ///< V(n), bytes
+  double profit = 0.0;      ///< ΔE − ΔP
+  int prev_slot = -1;       ///< index of the preceding active slot, or -1
+  int next_slot = -1;       ///< index of the following active slot, or -1
+};
+
+/// One user-active slot acting as a knapsack.
+struct OverlapSlot {
+  int id = 0;
+  std::int64_t capacity = 0;  ///< C(ti) = Bandwidth · |ti|, bytes
+};
+
+/// item -> slot assignment (slot_index indexes the input slot span).
+struct OverlapAssignment {
+  int item_id = 0;
+  int slot_index = 0;
+
+  friend bool operator==(const OverlapAssignment&,
+                         const OverlapAssignment&) = default;
+};
+
+struct OverlapSolution {
+  std::vector<OverlapAssignment> assignments;  ///< each item at most once
+  double total_profit = 0.0;
+  std::vector<std::int64_t> slot_used;  ///< bytes packed per slot index
+};
+
+/// Algorithm 1. eps in (0,1); the result is feasible (per-slot weight
+/// within capacity, each item assigned at most once, only to one of its
+/// two candidate slots) and totals at least (1−ε)/2 of the optimum.
+OverlapSolution solve_overlapped(std::span<const OverlapSlot> slots,
+                                 std::span<const OverlapItem> items,
+                                 double eps);
+
+/// Exhaustive optimum (each item: prev / next / unassigned). Guarded to
+/// small instances (items <= 18).
+OverlapSolution solve_overlapped_exact(std::span<const OverlapSlot> slots,
+                                       std::span<const OverlapItem> items);
+
+/// Naive baseline for the ablation benches: global ratio-greedy
+/// assignment (best profit/weight first, into whichever candidate slot
+/// has room, preferring the tighter fit). No approximation guarantee —
+/// this is what Algorithm 1's DP step buys over plain greedy.
+OverlapSolution solve_overlapped_greedy(std::span<const OverlapSlot> slots,
+                                        std::span<const OverlapItem> items);
+
+/// Validates feasibility of a solution against an instance; throws
+/// netmaster::Error on violation. Used by tests and by the policy layer
+/// as a defensive check.
+void check_feasible(std::span<const OverlapSlot> slots,
+                    std::span<const OverlapItem> items,
+                    const OverlapSolution& solution);
+
+}  // namespace netmaster::sched

@@ -1,0 +1,108 @@
+#include "service/components.hpp"
+
+#include "common/error.hpp"
+#include "sched/instance.hpp"
+
+namespace netmaster::service {
+
+MiningComponent::MiningComponent(const RecordStore& store)
+    : store_(store) {}
+
+void MiningComponent::subscribe(Listener listener) {
+  NM_REQUIRE(listener != nullptr, "listener must be callable");
+  listeners_.push_back(std::move(listener));
+}
+
+void MiningComponent::retrain(UserId user, int num_days,
+                              std::vector<std::string> app_names) {
+  const UserTrace trace =
+      store_.to_trace(user, num_days, std::move(app_names));
+  Broadcast broadcast{mining::HabitModel::mine(trace),
+                      mining::SpecialApps::detect(trace)};
+  latest_ = broadcast;
+  for (const Listener& listener : listeners_) listener(broadcast);
+}
+
+SchedulingComponent::SchedulingComponent(policy::NetMasterConfig config)
+    : config_(config), duty_(config.duty) {}
+
+void SchedulingComponent::on_broadcast(
+    const MiningComponent::Broadcast& broadcast) {
+  predictor_.emplace(broadcast.model, config_.predictor);
+  special_ = broadcast.special;
+}
+
+RadioCommand SchedulingComponent::set_radio(bool on) {
+  if (on != radio_on_) {
+    radio_on_ = on;
+    ++radio_switches_;
+  }
+  return on ? RadioCommand::kEnable : RadioCommand::kDisable;
+}
+
+RadioCommand SchedulingComponent::on_screen_on(TimeMs now,
+                                               AppId foreground_app) {
+  // Inside a predicted active slot the radio is on by plan; outside,
+  // the special-app check decides (§IV-C.2 "usage outside the
+  // predicted slots").
+  if (predictor_ && predictor_->is_predicted_active(now)) {
+    return set_radio(true);
+  }
+  const bool special = !config_.enable_special_apps ||
+                       !special_ ||
+                       special_->is_special(foreground_app);
+  return set_radio(special);
+}
+
+RadioCommand SchedulingComponent::on_screen_off(TimeMs now) {
+  duty_.notify_activity(now);
+  // Outside predicted slots the duty cycle takes over (radio down
+  // until the next probe); inside them the plan keeps the radio up.
+  if (predictor_ && predictor_->is_predicted_active(now)) {
+    return set_radio(true);
+  }
+  return set_radio(false);
+}
+
+RadioCommand SchedulingComponent::on_duty_wake(TimeMs now,
+                                               bool traffic_detected) {
+  if (traffic_detected) {
+    duty_.notify_activity(now);
+    return set_radio(true);
+  }
+  duty_.advance_fruitless();
+  return set_radio(false);
+}
+
+sched::OverlapSolution SchedulingComponent::decide(
+    std::span<const Interval> active_slots,
+    std::span<const NetworkActivity> pending) const {
+  NM_REQUIRE(predictor_.has_value(),
+             "decide() requires a mining broadcast first");
+  const sched::Instance inst = sched::build_instance(
+      active_slots, pending, *predictor_, config_.profit);
+  return sched::solve_overlapped(inst.slots, inst.items, config_.eps);
+}
+
+NetMasterService::NetMasterService(policy::NetMasterConfig config)
+    : config_(config), store_(), monitoring_(store_), mining_(store_),
+      scheduling_(config) {
+  mining_.subscribe([this](const MiningComponent::Broadcast& b) {
+    scheduling_.on_broadcast(b);
+  });
+}
+
+void NetMasterService::train(const UserTrace& training) {
+  monitoring_.observe(training);
+  mining_.retrain(training.user, training.num_days, training.app_names);
+  training_ = training;
+}
+
+sim::SimReport NetMasterService::evaluate(const UserTrace& eval) const {
+  NM_REQUIRE(training_.has_value(), "train() must be called first");
+  policy::NetMasterPolicy policy(*training_, config_);
+  const sim::PolicyOutcome outcome = policy.run(eval);
+  return sim::account(eval, outcome, config_.profit.radio);
+}
+
+}  // namespace netmaster::service

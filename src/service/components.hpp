@@ -1,0 +1,129 @@
+// Mining and scheduling components plus the NetMasterService facade
+// (§V, Fig. 6).
+//
+// MiningComponent wraps the habit miner: it rebuilds the HabitModel and
+// SpecialApps from the RecordStore and broadcasts fresh predictions to
+// its listener (the scheduling component) — the paper's hourly
+// re-prediction cycle.
+//
+// SchedulingComponent holds the NetMaster policy configuration
+// (ε = 0.1 decision making) and the real-time adjustment state: the
+// radio switch (the `svc data enable/disable` analogue) and the duty
+// cycler.
+//
+// NetMasterService wires monitoring → DB → mining → scheduling exactly
+// as Fig. 6 draws them, and exposes the end-to-end train/evaluate flow
+// used by examples and integration tests.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mining/habits.hpp"
+#include "mining/special_apps.hpp"
+#include "policy/netmaster.hpp"
+#include "service/monitoring.hpp"
+#include "service/record_store.hpp"
+#include "sim/accounting.hpp"
+
+namespace netmaster::service {
+
+/// Mining component: records -> habit model + special apps, broadcast
+/// to subscribers on every retrain.
+class MiningComponent {
+ public:
+  struct Broadcast {
+    mining::HabitModel model;
+    mining::SpecialApps special;
+  };
+  using Listener = std::function<void(const Broadcast&)>;
+
+  explicit MiningComponent(const RecordStore& store);
+
+  void subscribe(Listener listener);
+
+  /// Rebuilds the model from the store's records and notifies
+  /// subscribers. `num_days`/`app_names` describe the recorded span.
+  void retrain(UserId user, int num_days,
+               std::vector<std::string> app_names);
+
+  const std::optional<Broadcast>& latest() const { return latest_; }
+
+ private:
+  const RecordStore& store_;
+  std::vector<Listener> listeners_;
+  std::optional<Broadcast> latest_;
+};
+
+/// Radio switch states issued by the real-time adjustment (§V-C.2).
+enum class RadioCommand { kEnable, kDisable };
+
+/// Scheduling component: decision making + real-time adjustment.
+class SchedulingComponent {
+ public:
+  explicit SchedulingComponent(policy::NetMasterConfig config);
+
+  /// Receives a mining broadcast (fresh model).
+  void on_broadcast(const MiningComponent::Broadcast& broadcast);
+
+  bool has_model() const { return predictor_.has_value(); }
+
+  /// Real-time adjustment hooks. Each returns the radio command the
+  /// component issues, mirroring the svc data enable/disable child
+  /// process of §V-C.
+  RadioCommand on_screen_on(TimeMs now, AppId foreground_app);
+  RadioCommand on_screen_off(TimeMs now);
+  RadioCommand on_duty_wake(TimeMs now, bool traffic_detected);
+
+  /// Decision making: the scheduling plan for pending activities
+  /// (delegates to Algorithm 1 through the policy layer's instance
+  /// builder). Requires a model.
+  sched::OverlapSolution decide(
+      std::span<const Interval> active_slots,
+      std::span<const NetworkActivity> pending) const;
+
+  const policy::NetMasterConfig& config() const { return config_; }
+  std::size_t radio_switches() const { return radio_switches_; }
+
+ private:
+  policy::NetMasterConfig config_;
+  std::optional<mining::SlotPredictor> predictor_;
+  std::optional<mining::SpecialApps> special_;
+  duty::DutyCycler duty_;
+  bool radio_on_ = false;
+  std::size_t radio_switches_ = 0;
+
+  RadioCommand set_radio(bool on);
+};
+
+/// End-to-end facade: monitor a training trace, retrain, then evaluate
+/// a policy run over an evaluation trace.
+class NetMasterService {
+ public:
+  explicit NetMasterService(policy::NetMasterConfig config = {});
+
+  /// Feeds a training trace through monitoring into the DB and
+  /// retrains the mining component.
+  void train(const UserTrace& training);
+
+  /// Runs the full NetMaster policy over an evaluation trace using the
+  /// mined model; requires train() first.
+  sim::SimReport evaluate(const UserTrace& eval) const;
+
+  const RecordStore& store() const { return store_; }
+  const MiningComponent& mining() const { return mining_; }
+  SchedulingComponent& scheduling() { return scheduling_; }
+
+ private:
+  policy::NetMasterConfig config_;
+  RecordStore store_;
+  MonitoringComponent monitoring_;
+  MiningComponent mining_;
+  SchedulingComponent scheduling_;
+  std::optional<UserTrace> training_;
+};
+
+}  // namespace netmaster::service

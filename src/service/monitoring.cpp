@@ -1,0 +1,84 @@
+#include "service/monitoring.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace netmaster::service {
+
+MonitoringComponent::MonitoringComponent(RecordStore& store,
+                                         MonitoringConfig config)
+    : store_(store), config_(config) {
+  NM_REQUIRE(config.screen_on_sample_ms > 0 &&
+                 config.screen_off_sample_ms > 0,
+             "sample periods must be positive");
+}
+
+std::size_t MonitoringComponent::observe(const UserTrace& trace) {
+  trace.validate();
+  const std::size_t before = store_.size();
+
+  // Event-triggered records, merged in time order.
+  struct Event {
+    TimeMs time;
+    Record record;
+  };
+  std::vector<Event> events;
+  events.reserve(trace.sessions.size() * 2 + trace.usages.size() +
+                 trace.activities.size());
+
+  for (const ScreenSession& s : trace.sessions) {
+    events.push_back({s.begin, {RecordKind::kScreenOn, s.begin, -1, 0, 0,
+                                0, false, false}});
+    events.push_back({s.end, {RecordKind::kScreenOff, s.end, -1, 0, 0, 0,
+                              false, false}});
+  }
+  for (const AppUsage& u : trace.usages) {
+    events.push_back({u.time, {RecordKind::kAppForeground, u.time, u.app,
+                               0, 0, u.duration, false, false}});
+  }
+  for (const NetworkActivity& n : trace.activities) {
+    events.push_back({n.start,
+                      {RecordKind::kNetworkActivity, n.start, n.app,
+                       n.bytes_down, n.bytes_up, n.duration,
+                       n.user_initiated, n.deferrable}});
+  }
+  std::stable_sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.time < b.time; });
+
+  // Time-triggered byte-counter samples: walk the timeline, switching
+  // the sample period at screen edges. Cumulative counters follow the
+  // activity list.
+  std::size_t samples = 0;
+  {
+    const TimeMs horizon = trace.trace_end();
+    std::size_t next_activity = 0;
+    std::int64_t rx = 0, tx = 0;
+    TimeMs t = 0;
+    while (t < horizon) {
+      const bool on = trace.screen_on_at(t);
+      const DurationMs period =
+          on ? config_.screen_on_sample_ms : config_.screen_off_sample_ms;
+      const TimeMs next = std::min<TimeMs>(t + period, horizon);
+      while (next_activity < trace.activities.size() &&
+             trace.activities[next_activity].start < next) {
+        rx += trace.activities[next_activity].bytes_down;
+        tx += trace.activities[next_activity].bytes_up;
+        ++next_activity;
+      }
+      store_.append({RecordKind::kNetworkSample, next, -1, rx, tx, 0,
+                     false, false});
+      ++samples;
+      t = next;
+    }
+  }
+  sample_records_ += samples;
+
+  for (const Event& e : events) {
+    store_.append(e.record);
+    ++event_records_;
+  }
+  return store_.size() - before;
+}
+
+}  // namespace netmaster::service

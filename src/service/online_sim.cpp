@@ -1,0 +1,217 @@
+#include "service/online_sim.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "common/error.hpp"
+#include "duty/duty_cycle.hpp"
+#include "mining/habits.hpp"
+#include "mining/special_apps.hpp"
+#include "policy/policy.hpp"
+
+namespace netmaster::service {
+
+namespace {
+
+enum class EventKind {
+  kMidnight,   // re-predict the day's active slots
+  kScreenOn,   // real session begins: radio opportunity
+  kScreenOff,  // session ends: duty cycle re-arms
+  kArrival,    // network activity wants to run
+  kDutyWake,   // periodic probe while idle outside slots
+};
+
+struct Event {
+  TimeMs time = 0;
+  EventKind kind = EventKind::kMidnight;
+  std::size_t index = 0;  // activity index for kArrival
+
+  // Priority-queue ordering: earliest first; on ties, midnight and
+  // screen edges before arrivals before probes (a transfer arriving
+  // exactly at a screen edge sees the radio up).
+  friend bool operator>(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return static_cast<int>(a.kind) > static_cast<int>(b.kind);
+  }
+};
+
+struct PendingTransfer {
+  std::size_t index;
+  TimeMs arrival;
+  DurationMs duration;
+};
+
+}  // namespace
+
+OnlineSimResult run_online(const UserTrace& training,
+                           const UserTrace& eval,
+                           const policy::NetMasterConfig& config) {
+  eval.validate();
+  const TimeMs horizon = eval.trace_end();
+
+  // ---- Mined state (the §V mining broadcast). ----
+  const mining::SlotPredictor predictor(mining::HabitModel::mine(training),
+                                        config.predictor);
+  const mining::SpecialApps special = mining::SpecialApps::detect(training);
+
+  OnlineSimResult result;
+  sim::PolicyOutcome& out = result.outcome;
+  out.policy_name = "netmaster-online";
+  out.radio_allowed = IntervalSet{};
+
+  // ---- Event queue seeding. ----
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
+  for (int day = 0; day < eval.num_days; ++day) {
+    queue.push({day_start(day), EventKind::kMidnight, 0});
+  }
+  for (const ScreenSession& s : eval.sessions) {
+    queue.push({s.begin, EventKind::kScreenOn, 0});
+    queue.push({s.end, EventKind::kScreenOff, 0});
+  }
+  for (std::size_t i = 0; i < eval.activities.size(); ++i) {
+    queue.push({eval.activities[i].start, EventKind::kArrival, i});
+  }
+
+  // ---- Executive state. ----
+  IntervalSet today_slots;  // predicted active slots of the current day
+  bool screen_on = false;
+  duty::DutyCycler cycler(config.duty);
+  bool duty_armed = false;
+  TimeMs expected_wake = -1;  // invalidates stale queued probe events
+  std::vector<PendingTransfer> pending;
+
+  auto in_slot = [&](TimeMs t) {
+    return config.enable_prediction && today_slots.contains(t);
+  };
+
+  auto execute = [&](std::size_t index, TimeMs at, DurationMs duration,
+                     TimeMs arrival) {
+    const TimeMs release = std::clamp<TimeMs>(
+        std::max(at, arrival), arrival, horizon - duration);
+    out.transfers.push_back({index, release, duration});
+    if (release > arrival) {
+      out.deferral_latency_s.push_back(to_seconds(release - arrival));
+    }
+  };
+
+  auto release_all_pending = [&](TimeMs at) {
+    for (const PendingTransfer& p : pending) {
+      execute(p.index, at, p.duration, p.arrival);
+    }
+    const bool any = !pending.empty();
+    pending.clear();
+    return any;
+  };
+
+  auto arm_duty = [&](TimeMs now) {
+    if (!config.enable_duty) {
+      duty_armed = false;
+      return;
+    }
+    cycler.reset(now);
+    duty_armed = true;
+    ++result.radio_switches;  // svc data disable
+    expected_wake = cycler.next_wake();
+    if (expected_wake < horizon) {
+      queue.push({expected_wake, EventKind::kDutyWake, 0});
+    }
+  };
+
+  // The radio starts down for the night-to-be.
+  arm_duty(0);
+
+  while (!queue.empty()) {
+    const Event ev = queue.top();
+    queue.pop();
+    if (ev.time >= horizon) continue;
+    ++result.events_processed;
+
+    switch (ev.kind) {
+      case EventKind::kMidnight: {
+        const int day = day_of(ev.time);
+        today_slots = predictor.predict_day(day).active_slots;
+        break;
+      }
+
+      case EventKind::kScreenOn: {
+        screen_on = true;
+        ++result.radio_switches;  // real-time adjustment powers radio
+        release_all_pending(ev.time);
+        duty_armed = false;  // session owns the radio
+        break;
+      }
+
+      case EventKind::kScreenOff: {
+        screen_on = false;
+        arm_duty(ev.time);
+        break;
+      }
+
+      case EventKind::kArrival: {
+        const NetworkActivity& act = eval.activities[ev.index];
+        if (!act.deferrable || screen_on) {
+          execute(ev.index, act.start, act.duration, act.start);
+          // Wrong-decision check (§VI-B): user-driven traffic outside
+          // predicted slots finds the radio down unless the app is
+          // special.
+          if (act.user_initiated && !screen_on && !in_slot(act.start)) {
+            const bool rescued = config.enable_special_apps &&
+                                 special.is_special(act.app);
+            if (!rescued) ++out.interrupts;
+          }
+          break;
+        }
+        // Deferrable, screen off: hold for the next radio opportunity.
+        pending.push_back({ev.index, act.start,
+                           policy::deferred_duration(act.duration)});
+        if (!config.enable_duty && !config.enable_prediction) {
+          // Nothing will ever release it: run in place (ablation).
+          release_all_pending(act.start);
+        }
+        break;
+      }
+
+      case EventKind::kDutyWake: {
+        // Stale timers: only the probe the cycler currently expects
+        // counts; earlier re-arms invalidate queued events.
+        if (!duty_armed || screen_on || ev.time != expected_wake) break;
+        if (in_slot(ev.time)) {
+          // A predicted active slot is a radio opportunity in itself:
+          // release and let the slot own the radio until it closes.
+          release_all_pending(ev.time);
+          cycler.notify_activity(ev.time);
+        } else {
+          const DurationMs window = std::min<DurationMs>(
+              config.duty.wake_window_ms, horizon - ev.time);
+          const bool productive = release_all_pending(ev.time);
+          out.wakes.push_back({ev.time, window, productive});
+          if (productive) {
+            ++out.duty_releases;
+            cycler.notify_activity(ev.time + window);
+          } else {
+            cycler.advance_fruitless();
+          }
+        }
+        expected_wake = cycler.next_wake();
+        if (expected_wake < horizon) {
+          queue.push({expected_wake, EventKind::kDutyWake, 0});
+        }
+        break;
+      }
+    }
+  }
+  // Anything still pending at the horizon runs at the last moment.
+  release_all_pending(horizon);
+
+  // Dormancy-grace windows for the data switch, as in the policy path.
+  for (const sim::ExecutedTransfer& t : out.transfers) {
+    out.radio_allowed->add(
+        t.start,
+        std::min<TimeMs>(t.start + t.duration + policy::kDormancyGraceMs,
+                         horizon));
+  }
+  return result;
+}
+
+}  // namespace netmaster::service

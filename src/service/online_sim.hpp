@@ -1,0 +1,35 @@
+// Event-driven online simulator.
+//
+// policy::NetMasterPolicy computes a whole-horizon plan (prediction +
+// Algorithm 1 + real-time adjustment rules applied analytically). This
+// module is its executive-layer cross-check: a genuine discrete-event
+// loop that replays the evaluation trace event by event — screen edges,
+// network arrivals, duty-cycle timers, midnight re-predictions — and
+// makes every decision online, using only the mined model and the
+// events seen so far. Deferred transfers are released at the first real
+// radio opportunity (screen-on, duty wake, predicted slot begin), i.e.
+// the greedy nearest-opportunity rule; the knapsack-planned placement
+// lives in the policy path. Agreement between the two paths (tested in
+// online_sim_test) validates the real-time adjustment machinery.
+#pragma once
+
+#include <cstddef>
+
+#include "policy/netmaster.hpp"
+#include "sim/outcome.hpp"
+#include "trace/trace.hpp"
+
+namespace netmaster::service {
+
+struct OnlineSimResult {
+  sim::PolicyOutcome outcome;      ///< accountable like any policy run
+  std::size_t events_processed = 0;
+  std::size_t radio_switches = 0;  ///< svc data enable/disable calls
+};
+
+/// Trains on `training`, then replays `eval` through the event loop.
+OnlineSimResult run_online(const UserTrace& training,
+                           const UserTrace& eval,
+                           const policy::NetMasterConfig& config);
+
+}  // namespace netmaster::service

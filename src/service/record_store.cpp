@@ -1,0 +1,93 @@
+#include "service/record_store.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace netmaster::service {
+
+RecordStore::RecordStore(std::size_t cache_bytes)
+    : cache_capacity_(std::max<std::size_t>(cache_bytes / sizeof(Record),
+                                            1)) {}
+
+void RecordStore::append(const Record& record) {
+  cache_.push_back(record);
+  if (cache_.size() >= cache_capacity_) flush();
+}
+
+void RecordStore::flush() {
+  if (cache_.empty()) return;
+  bytes_flushed_ += cache_.size() * sizeof(Record);
+  ++flush_count_;
+  flash_.insert(flash_.end(), cache_.begin(), cache_.end());
+  cache_.clear();
+}
+
+std::vector<Record> RecordStore::all_records() const {
+  std::vector<Record> out = flash_;
+  out.insert(out.end(), cache_.begin(), cache_.end());
+  return out;
+}
+
+UserTrace RecordStore::to_trace(UserId user, int num_days,
+                                std::vector<std::string> app_names) const {
+  UserTrace trace;
+  trace.user = user;
+  trace.num_days = num_days;
+  trace.app_names = std::move(app_names);
+  const TimeMs horizon = trace.trace_end();
+
+  TimeMs screen_on_since = -1;
+  for (const Record& r : all_records()) {
+    switch (r.kind) {
+      case RecordKind::kScreenOn:
+        if (screen_on_since < 0) screen_on_since = r.time;
+        break;
+      case RecordKind::kScreenOff:
+        if (screen_on_since >= 0 && r.time > screen_on_since) {
+          trace.sessions.push_back({screen_on_since, r.time});
+        }
+        screen_on_since = -1;
+        break;
+      case RecordKind::kAppForeground:
+        trace.usages.push_back({r.app, r.time, r.duration});
+        break;
+      case RecordKind::kNetworkActivity: {
+        NetworkActivity n;
+        n.app = r.app;
+        n.start = r.time;
+        n.duration = r.duration;
+        n.bytes_down = r.bytes_down;
+        n.bytes_up = r.bytes_up;
+        n.user_initiated = r.user_initiated;
+        n.deferrable = r.deferrable;
+        trace.activities.push_back(n);
+        break;
+      }
+      case RecordKind::kNetworkSample:
+        // Counter samples inform live decisions; the reconstructed
+        // trace uses the per-activity records instead.
+        break;
+    }
+  }
+  if (screen_on_since >= 0 && screen_on_since < horizon) {
+    trace.sessions.push_back({screen_on_since, horizon});
+  }
+
+  std::stable_sort(trace.sessions.begin(), trace.sessions.end(),
+            [](const ScreenSession& a, const ScreenSession& b) {
+              return a.begin < b.begin;
+            });
+  std::stable_sort(trace.usages.begin(), trace.usages.end(),
+            [](const AppUsage& a, const AppUsage& b) {
+              return a.time < b.time;
+            });
+  std::stable_sort(trace.activities.begin(), trace.activities.end(),
+            [](const NetworkActivity& a, const NetworkActivity& b) {
+              return a.start < b.start;
+            });
+  trace.validate();
+  return trace;
+}
+
+}  // namespace netmaster::service

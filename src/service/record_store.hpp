@@ -1,0 +1,85 @@
+// The middleware's database (§V, "DB" in Fig. 6) with the §V-A write
+// cache: "frequently writing records to flash is energy-inefficient...
+// we use 500KB cache in memory to batch multiple writes together."
+//
+// Records are the four §V-A features (time, app, cellular network,
+// screen), appended by the monitoring component and replayed by the
+// mining component. The store models the memory-cache/flash split:
+// appends land in the cache; when the cache exceeds its capacity it
+// flushes to "flash" (an in-memory backing vector plus counters that
+// stand in for the storage energy cost).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "trace/trace.hpp"
+
+namespace netmaster::service {
+
+/// Record kinds, mirroring the §V-A feature groups.
+enum class RecordKind : std::uint8_t {
+  kScreenOn,
+  kScreenOff,
+  kAppForeground,   ///< app moved to the foreground (event trigger)
+  kNetworkSample,   ///< time-triggered rx/tx byte-counter sample
+  kNetworkActivity, ///< reconstructed transfer (start + bytes)
+};
+
+/// One monitoring record. Fixed-size by design (what a row in the
+/// on-phone SQLite table would be).
+struct Record {
+  RecordKind kind = RecordKind::kScreenOn;
+  TimeMs time = 0;
+  AppId app = -1;
+  std::int64_t bytes_down = 0;
+  std::int64_t bytes_up = 0;
+  DurationMs duration = 0;
+  bool user_initiated = false;
+  bool deferrable = false;
+
+  friend bool operator==(const Record&, const Record&) = default;
+};
+
+/// Append-only store with a bounded memory write-cache.
+class RecordStore {
+ public:
+  /// `cache_bytes` is the memory cache capacity (the paper uses 500 KB).
+  explicit RecordStore(std::size_t cache_bytes = 500 * 1024);
+
+  /// Appends a record to the cache; flushes to flash when full.
+  void append(const Record& record);
+
+  /// Forces any cached records to flash.
+  void flush();
+
+  /// All durably-stored records plus whatever is still cached, in
+  /// append order. (Reads see the cache — queries must not lose the
+  /// most recent events.)
+  std::vector<Record> all_records() const;
+
+  std::size_t size() const { return flash_.size() + cache_.size(); }
+  std::size_t cached() const { return cache_.size(); }
+
+  /// Number of cache->flash flushes so far (each models one expensive
+  /// flash write burst).
+  std::size_t flush_count() const { return flush_count_; }
+  /// Total bytes pushed to flash.
+  std::size_t bytes_flushed() const { return bytes_flushed_; }
+
+  /// Reconstructs a UserTrace (for the mining component) from the
+  /// records, given the app table and day count.
+  UserTrace to_trace(UserId user, int num_days,
+                     std::vector<std::string> app_names) const;
+
+ private:
+  std::size_t cache_capacity_;
+  std::vector<Record> cache_;
+  std::vector<Record> flash_;
+  std::size_t flush_count_ = 0;
+  std::size_t bytes_flushed_ = 0;
+};
+
+}  // namespace netmaster::service

@@ -1,0 +1,116 @@
+#include "sim/accounting.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace netmaster::sim {
+
+SimReport account(const UserTrace& eval, const PolicyOutcome& outcome,
+                  const RadioPowerParams& params) {
+  params.validate();
+  SimReport report;
+  report.policy_name = outcome.policy_name;
+  report.horizon_ms = eval.trace_end();
+
+  // Consistency: every activity executed exactly once, inside the
+  // horizon.
+  NM_REQUIRE(outcome.transfers.size() == eval.activities.size(),
+             "outcome must execute every activity exactly once");
+  std::vector<bool> seen(eval.activities.size(), false);
+  IntervalSet executed;
+  for (const ExecutedTransfer& t : outcome.transfers) {
+    NM_REQUIRE(t.activity_index < eval.activities.size(),
+               "transfer references unknown activity");
+    NM_REQUIRE(!seen[t.activity_index], "activity executed twice");
+    seen[t.activity_index] = true;
+    NM_REQUIRE(t.start >= 0 && t.start + t.duration <= report.horizon_ms,
+               "transfer outside the accounting horizon");
+    executed.add(t.start, t.start + t.duration);
+
+    const NetworkActivity& act = eval.activities[t.activity_index];
+    report.bytes_down += act.bytes_down;
+    report.bytes_up += act.bytes_up;
+  }
+
+  // RRC energy over the executed schedule, under the policy's data
+  // switch when it drives one.
+  if (outcome.radio_allowed.has_value()) {
+    IntervalSet allowed = *outcome.radio_allowed;
+    allowed.add(executed);
+    for (const duty::WakeEvent& w : outcome.wakes) {
+      allowed.add(w.time, w.time + w.window);
+    }
+    report.radio =
+        account_transfers(executed, params, report.horizon_ms, &allowed);
+  } else {
+    report.radio = account_transfers(executed, params, report.horizon_ms);
+  }
+  report.transfer_energy_j = report.radio.energy_j;
+
+  // Duty-cycle wake overhead: probes run the radio at FACH-level power
+  // (network attach, no dedicated channel). Fruitful wakes overlap
+  // transfers and are not double-charged: only the non-overlap part of
+  // each probe window is added.
+  for (const duty::WakeEvent& w : outcome.wakes) {
+    const DurationMs overlap =
+        executed.overlap_length(w.time, w.time + w.window);
+    const DurationMs extra = w.window - overlap;
+    report.duty_energy_j +=
+        params.fach_mw * static_cast<double>(extra) * 1e-6;
+    report.radio_on_ms += extra;
+  }
+  report.wake_count = outcome.wakes.size();
+  report.radio_on_ms += report.radio.radio_on_ms;
+  report.energy_j = report.transfer_energy_j + report.duty_energy_j;
+
+  // Bandwidth utilization: achieved bytes per radio-on second.
+  const double on_s = to_seconds(report.radio_on_ms);
+  if (on_s > 0.0) {
+    report.avg_down_rate_kbps =
+        static_cast<double>(report.bytes_down) / 1000.0 / on_s;
+    report.avg_up_rate_kbps =
+        static_cast<double>(report.bytes_up) / 1000.0 / on_s;
+  }
+  // Peak rate is a channel property of individual transfers; policies
+  // shift transfers in time but do not change their rate (the paper
+  // makes the same observation about Fig. 7c).
+  for (const NetworkActivity& act : eval.activities) {
+    if (act.duration <= 0) continue;
+    const double s = to_seconds(act.duration);
+    report.peak_down_rate_kbps =
+        std::max(report.peak_down_rate_kbps,
+                 static_cast<double>(act.bytes_down) / 1000.0 / s);
+    report.peak_up_rate_kbps =
+        std::max(report.peak_up_rate_kbps,
+                 static_cast<double>(act.bytes_up) / 1000.0 / s);
+  }
+
+  // User experience.
+  report.total_usages = eval.usages.size();
+  for (const AppUsage& u : eval.usages) {
+    if (outcome.blocked.contains(u.time)) ++report.affected_usages;
+  }
+  report.interrupts = outcome.interrupts;
+  if (report.total_usages > 0) {
+    report.affected_fraction =
+        static_cast<double>(report.affected_usages + report.interrupts) /
+        static_cast<double>(report.total_usages);
+  }
+
+  report.deferred_count = outcome.deferral_latency_s.size();
+  if (report.deferred_count > 0) {
+    double sum = 0.0;
+    for (double v : outcome.deferral_latency_s) sum += v;
+    report.mean_deferral_latency_s =
+        sum / static_cast<double>(report.deferred_count);
+  }
+
+  for (const ScreenSession& s : eval.sessions) {
+    report.screen_on_ms += s.length();
+  }
+  return report;
+}
+
+}  // namespace netmaster::sim

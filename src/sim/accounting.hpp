@@ -1,0 +1,58 @@
+// Accounting: PolicyOutcome -> SimReport.
+//
+// Applies the RRC power model to the executed transfer schedule, adds
+// duty-cycle wake overhead, and computes the evaluation metrics of §VI:
+// radio energy, radio-on time, achieved bandwidth (bytes per radio-on
+// second, the paper's "bandwidth utilization"), peak rates, affected
+// user interactions, and deferral latency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "power/radio_model.hpp"
+#include "sim/outcome.hpp"
+#include "trace/trace.hpp"
+
+namespace netmaster::sim {
+
+/// All §VI metrics for one (trace, policy) run.
+struct SimReport {
+  std::string policy_name;
+
+  // Energy / radio time.
+  double energy_j = 0.0;          ///< transfers + duty overhead
+  double transfer_energy_j = 0.0; ///< RRC trajectory energy only
+  double duty_energy_j = 0.0;     ///< wake-probe overhead
+  DurationMs radio_on_ms = 0;     ///< non-IDLE time incl. wake probes
+  RadioAccounting radio;          ///< RRC breakdown
+  std::size_t wake_count = 0;
+
+  // Traffic.
+  std::int64_t bytes_down = 0;
+  std::int64_t bytes_up = 0;
+  double avg_down_rate_kbps = 0.0;  ///< bytes_down / radio-on seconds
+  double avg_up_rate_kbps = 0.0;
+  double peak_down_rate_kbps = 0.0;  ///< best single-activity rate
+  double peak_up_rate_kbps = 0.0;
+
+  // User experience.
+  std::size_t total_usages = 0;
+  std::size_t affected_usages = 0;  ///< usages in blocked windows
+  std::size_t interrupts = 0;       ///< explicit wrong decisions
+  double affected_fraction = 0.0;   ///< (affected + interrupts) / total
+  double mean_deferral_latency_s = 0.0;
+  std::size_t deferred_count = 0;
+
+  // Context.
+  DurationMs horizon_ms = 0;
+  DurationMs screen_on_ms = 0;
+};
+
+/// Runs the accountant. Throws netmaster::Error when the outcome is
+/// inconsistent with the trace (missing/duplicate activities, transfers
+/// beyond the horizon).
+SimReport account(const UserTrace& eval, const PolicyOutcome& outcome,
+                  const RadioPowerParams& params);
+
+}  // namespace netmaster::sim

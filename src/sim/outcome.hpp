@@ -1,0 +1,68 @@
+// The interface between scheduling policies and the accounting
+// simulator.
+//
+// A policy consumes an evaluation trace chronologically (online
+// semantics are the policy's responsibility) and emits a PolicyOutcome:
+// when each network activity actually executed, which windows the
+// policy spent holding the radio off while work or users were waiting,
+// the duty-cycle wake schedule, and explicit wrong decisions. The
+// accounting layer (sim/accounting.hpp) turns an outcome into energy,
+// radio-time, bandwidth, and user-experience metrics.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/interval.hpp"
+#include "common/time.hpp"
+#include "duty/duty_cycle.hpp"
+
+namespace netmaster::sim {
+
+/// One network activity as actually executed by a policy.
+struct ExecutedTransfer {
+  std::size_t activity_index = 0;  ///< into the eval trace's activities
+  TimeMs start = 0;                ///< executed start time
+  DurationMs duration = 0;         ///< executed transfer time
+};
+
+/// Everything a policy did over the evaluation window.
+struct PolicyOutcome {
+  std::string policy_name;
+
+  /// Every activity of the eval trace, with its executed timing. A
+  /// policy must execute each activity exactly once (checked by the
+  /// accountant) — NetMaster defers, it never drops.
+  std::vector<ExecutedTransfer> transfers;
+
+  /// Windows in which the policy held the radio off although a user
+  /// might need it (deferral windows of delay/batch schemes; inactive
+  /// predicted slots for NetMaster when the fallback path failed).
+  /// A foreground usage beginning inside one counts as affected.
+  IntervalSet blocked;
+
+  /// Duty-cycle wake probes (NetMaster only; empty otherwise).
+  std::vector<duty::WakeEvent> wakes;
+
+  /// When set, the policy drives a data switch (svc data enable/
+  /// disable): the radio may be non-IDLE only inside this set, so RRC
+  /// tails are cut at its boundaries. The accountant automatically
+  /// unions the executed transfer intervals in, so policies only list
+  /// the *extra* allowed time (real screen sessions, wake probes).
+  /// Unset models the stock radio with full tails.
+  std::optional<IntervalSet> radio_allowed;
+
+  /// Explicit wrong decisions: the user had to manually re-enable data
+  /// (§VI-B). Counted in addition to blocked-window hits.
+  std::size_t interrupts = 0;
+
+  /// Unpredicted activities that were released by a duty-cycle wake.
+  std::size_t duty_releases = 0;
+
+  /// Per-deferred-activity latency (executed start − arrival), seconds.
+  std::vector<double> deferral_latency_s;
+};
+
+}  // namespace netmaster::sim

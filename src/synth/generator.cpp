@@ -1,0 +1,270 @@
+#include "synth/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace netmaster::synth {
+
+namespace {
+
+constexpr DurationMs kMinTransferMs = 500;
+constexpr DurationMs kMaxTransferMs = 10 * kMsPerMinute;
+constexpr DurationMs kSessionGapMs = 2 * kMsPerSecond;
+
+/// A screen session under construction, carrying its launches.
+struct DraftSession {
+  TimeMs begin = 0;
+  DurationMs length = 0;
+  std::vector<AppUsage> launches;  // times relative to session begin
+};
+
+/// Draws a transfer duration from a byte count and a rate distribution.
+DurationMs draw_transfer_duration(Rng& rng, double bytes,
+                                  double mean_rate_kbps) {
+  const double rate =
+      mean_rate_kbps * std::exp(rng.normal(0.0, 0.5) - 0.125);
+  const double secs = bytes / 1000.0 / std::max(rate, 1e-3);
+  const auto ms = static_cast<DurationMs>(secs * 1000.0);
+  return std::clamp(ms, kMinTransferMs, kMaxTransferMs);
+}
+
+/// Picks an app for a launch at the given hour, weighted by
+/// usage_weight * hour_affinity. Returns -1 when no app is launchable.
+AppId pick_app(Rng& rng, const UserProfile& profile, int hour) {
+  double total = 0.0;
+  for (const AppProfile& app : profile.apps) {
+    total += app.usage_weight * app.hour_affinity[hour];
+  }
+  if (total <= 0.0) return -1;
+  double draw = rng.uniform(0.0, total);
+  for (std::size_t i = 0; i < profile.apps.size(); ++i) {
+    draw -= profile.apps[i].usage_weight *
+            profile.apps[i].hour_affinity[hour];
+    if (draw <= 0.0) return static_cast<AppId>(i);
+  }
+  return static_cast<AppId>(profile.apps.size() - 1);
+}
+
+/// Generates the screen sessions and foreground launches for one day.
+/// Sessions are clustered launches: 1–3 launches back to back, with the
+/// session lasting the dwell times plus an exponential base.
+std::vector<DraftSession> generate_day_sessions(Rng& rng,
+                                                const UserProfile& profile,
+                                                int day) {
+  const auto& base = profile.intensity_for_day(day);
+  const double noise =
+      std::exp(rng.normal(0.0, profile.day_noise_sigma) -
+               0.5 * profile.day_noise_sigma * profile.day_noise_sigma);
+
+  std::vector<DraftSession> sessions;
+  for (int hour = 0; hour < kHoursPerDay; ++hour) {
+    const double lambda = base[hour] * noise;
+    if (lambda <= 0.0) continue;
+    int launches;
+    if (profile.presence_c > 0.0) {
+      // Hour-level presence dropout: the user is around this hour with
+      // probability λ/(λ+c); conditioned on presence the launch count
+      // is inflated so the long-run hourly intensity stays λ.
+      const double presence = lambda / (lambda + profile.presence_c);
+      if (!rng.bernoulli(presence)) continue;
+      launches = rng.poisson(lambda / presence);
+    } else {
+      launches = rng.poisson(lambda);
+    }
+    while (launches > 0) {
+      const int cluster =
+          static_cast<int>(rng.uniform_int(1, std::min<std::int64_t>(2, launches)));
+      launches -= cluster;
+
+      DraftSession session;
+      session.begin = hour_start(day, hour) +
+                      rng.uniform_int(0, kMsPerHour - 1);
+      DurationMs cursor = 0;
+      for (int i = 0; i < cluster; ++i) {
+        const AppId app = pick_app(rng, profile, hour);
+        if (app < 0) break;
+        const auto dwell = static_cast<DurationMs>(
+            rng.exponential(static_cast<double>(profile.usage_dwell_ms)));
+        session.launches.push_back({app, cursor, std::max<DurationMs>(dwell, 500)});
+        cursor += session.launches.back().duration;
+      }
+      const auto extra = static_cast<DurationMs>(
+          rng.exponential(static_cast<double>(profile.session_base_ms)));
+      session.length = cursor + std::max<DurationMs>(extra, kMsPerSecond);
+      sessions.push_back(std::move(session));
+    }
+  }
+  return sessions;
+}
+
+/// Resolves session overlaps by shifting later sessions after earlier
+/// ones (preserving order by start), clipping at the trace end.
+void place_sessions(std::vector<DraftSession>& sessions, TimeMs trace_end) {
+  std::sort(sessions.begin(), sessions.end(),
+            [](const DraftSession& a, const DraftSession& b) {
+              return a.begin < b.begin;
+            });
+  TimeMs prev_end = 0;
+  for (DraftSession& s : sessions) {
+    if (s.begin < prev_end + kSessionGapMs) {
+      s.begin = prev_end + kSessionGapMs;
+    }
+    if (s.begin + s.length > trace_end) {
+      s.length = trace_end - s.begin;  // may become empty; dropped below
+    }
+    prev_end = s.begin + std::max<DurationMs>(s.length, 0);
+  }
+  std::erase_if(sessions, [](const DraftSession& s) {
+    return s.length < kMsPerSecond;
+  });
+}
+
+/// Emits background transfers for one app over the whole trace.
+void generate_background(Rng& rng, const UserProfile& profile,
+                         AppId app_id, const AppProfile& app,
+                         TimeMs trace_end,
+                         std::vector<NetworkActivity>& out) {
+  if (!app.has_background() || app.sync_interval_ms <= 0) return;
+
+  TimeMs t = rng.uniform_int(0, app.sync_interval_ms - 1);
+  while (t < trace_end) {
+    // One sync event is a burst of connections (DNS, content, acks)
+    // spread over tens of seconds.
+    const int burst =
+        1 + rng.poisson(std::max(app.bg_burst_mean - 1.0, 0.0));
+    TimeMs member_time = t;
+    for (int b = 0; b < burst; ++b) {
+      const double bytes =
+          rng.lognormal(app.bg_bytes_mu, app.bg_bytes_sigma);
+      NetworkActivity n;
+      n.app = app_id;
+      n.start = member_time;
+      n.duration = draw_transfer_duration(rng, bytes,
+                                          profile.screen_off_rate_kbps);
+      // Background payloads are mostly downlink with a small uplink ack
+      // share; split 85/15.
+      n.bytes_down = static_cast<std::int64_t>(bytes * 0.85);
+      n.bytes_up = static_cast<std::int64_t>(bytes * 0.15);
+      n.user_initiated = false;
+      n.deferrable = true;
+      if (n.start + n.duration <= trace_end) out.push_back(n);
+      member_time += static_cast<DurationMs>(rng.exponential(25'000.0));
+    }
+
+    if (app.sync_style == SyncStyle::kPeriodic) {
+      const double jitter =
+          rng.uniform(-app.sync_jitter, app.sync_jitter);
+      t += static_cast<DurationMs>(
+          static_cast<double>(app.sync_interval_ms) * (1.0 + jitter));
+    } else {  // kPush
+      t += static_cast<DurationMs>(
+          rng.exponential(static_cast<double>(app.sync_interval_ms)));
+    }
+    t = std::max<TimeMs>(t, 1);
+  }
+}
+
+}  // namespace
+
+UserTrace generate_trace(const UserProfile& profile, int num_days,
+                         std::uint64_t seed) {
+  NM_REQUIRE(num_days > 0, "num_days must be positive");
+  NM_REQUIRE(!profile.apps.empty(), "profile needs at least one app");
+
+  UserTrace trace;
+  trace.user = profile.id;
+  trace.num_days = num_days;
+  for (const AppProfile& app : profile.apps) {
+    trace.app_names.push_back(app.name);
+  }
+  const TimeMs trace_end = trace.trace_end();
+
+  // Foreground: sessions + launches + launch-triggered transfers.
+  std::vector<DraftSession> sessions;
+  for (int day = 0; day < num_days; ++day) {
+    Rng day_rng(derive_seed(seed, 1000u * static_cast<std::uint64_t>(
+                                       profile.id + 1) +
+                                      static_cast<std::uint64_t>(day)));
+    auto day_sessions = generate_day_sessions(day_rng, profile, day);
+    sessions.insert(sessions.end(),
+                    std::make_move_iterator(day_sessions.begin()),
+                    std::make_move_iterator(day_sessions.end()));
+  }
+  place_sessions(sessions, trace_end);
+
+  Rng fg_rng(derive_seed(seed, 500u + static_cast<std::uint64_t>(profile.id)));
+  for (const DraftSession& s : sessions) {
+    trace.sessions.push_back({s.begin, s.begin + s.length});
+    for (const AppUsage& launch : s.launches) {
+      AppUsage placed = launch;
+      placed.time += s.begin;
+      // Clip dwell to the session.
+      placed.duration = std::min<DurationMs>(
+          placed.duration, s.begin + s.length - placed.time);
+      if (placed.duration <= 0) continue;
+      trace.usages.push_back(placed);
+
+      const AppProfile& app =
+          profile.apps[static_cast<std::size_t>(placed.app)];
+      if (fg_rng.bernoulli(app.fg_net_prob)) {
+        // A burst of connections per interaction, spread over the dwell.
+        const int burst =
+            1 + fg_rng.poisson(std::max(app.fg_burst_mean - 1.0, 0.0));
+        for (int b = 0; b < burst; ++b) {
+          const double bytes =
+              fg_rng.lognormal(app.fg_bytes_mu, app.fg_bytes_sigma);
+          NetworkActivity n;
+          n.app = placed.app;
+          n.start = placed.time +
+                    fg_rng.uniform_int(0, std::max<DurationMs>(
+                                              placed.duration - 1, 1));
+          n.duration = draw_transfer_duration(
+              fg_rng, bytes, profile.screen_on_rate_kbps);
+          n.bytes_down = static_cast<std::int64_t>(bytes * 0.9);
+          n.bytes_up = static_cast<std::int64_t>(bytes * 0.1);
+          n.user_initiated = true;
+          n.deferrable = false;
+          if (n.start + n.duration <= trace_end) {
+            trace.activities.push_back(n);
+          }
+        }
+      }
+    }
+  }
+
+  // Background: per-app streams over the whole trace.
+  for (std::size_t i = 0; i < profile.apps.size(); ++i) {
+    Rng bg_rng(derive_seed(
+        seed, 900000u + 100u * static_cast<std::uint64_t>(profile.id) + i));
+    generate_background(bg_rng, profile, static_cast<AppId>(i),
+                        profile.apps[i], trace_end, trace.activities);
+  }
+
+  std::sort(trace.usages.begin(), trace.usages.end(),
+            [](const AppUsage& a, const AppUsage& b) {
+              return a.time < b.time;
+            });
+  std::sort(trace.activities.begin(), trace.activities.end(),
+            [](const NetworkActivity& a, const NetworkActivity& b) {
+              return a.start < b.start;
+            });
+  trace.validate();
+  return trace;
+}
+
+TraceSet generate_population(std::span<const UserProfile> profiles,
+                             int num_days, std::uint64_t seed) {
+  TraceSet set;
+  set.users.reserve(profiles.size());
+  for (const UserProfile& profile : profiles) {
+    set.users.push_back(generate_trace(
+        profile, num_days,
+        derive_seed(seed, static_cast<std::uint64_t>(profile.id))));
+  }
+  return set;
+}
+
+}  // namespace netmaster::synth

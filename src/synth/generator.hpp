@@ -1,0 +1,26 @@
+// Trace generator: turns a UserProfile into a UserTrace.
+//
+// Generation is fully deterministic in (profile, num_days, seed); every
+// user, day, and app draws from an independently derived RNG stream, so
+// changing one profile never perturbs another user's trace.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "synth/profiles.hpp"
+#include "trace/trace.hpp"
+
+namespace netmaster::synth {
+
+/// Generates `num_days` of usage for one user. The returned trace is
+/// validated (sorted, disjoint sessions, in-range events).
+UserTrace generate_trace(const UserProfile& profile, int num_days,
+                         std::uint64_t seed);
+
+/// Generates a population, one trace per profile, from a single master
+/// seed (per-user streams are derived from the user id).
+TraceSet generate_population(std::span<const UserProfile> profiles,
+                             int num_days, std::uint64_t seed);
+
+}  // namespace netmaster::synth

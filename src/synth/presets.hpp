@@ -1,0 +1,45 @@
+// Preset user archetypes and the standard app population.
+//
+// The presets stand in for the paper's study subjects: eight diverse
+// users (ages 20–30, different professions per §III) for the motivation
+// figures, and three "volunteers" for the §VI evaluation. Archetypes
+// differ strongly in their hourly intensity shape (driving the low
+// cross-user Pearson of Fig. 3) while each is internally regular
+// (driving the high cross-day Pearson of Fig. 4).
+#pragma once
+
+#include <vector>
+
+#include "synth/profiles.hpp"
+
+namespace netmaster::synth {
+
+/// The user archetypes available to experiments.
+enum class Archetype {
+  kOfficeWorker,    ///< 9-to-6 usage with lunch and evening peaks
+  kStudent,         ///< bimodal daytime plus late-night usage
+  kNightOwl,        ///< activity concentrated 21:00–02:00
+  kCommuter,        ///< sharp morning/evening commute peaks
+  kRetiree,         ///< gentle spread across the day
+  kHeavyMessenger,  ///< IM-dominated, high intensity all waking hours
+  kWeekendWarrior,  ///< light weekdays, heavy weekends
+  kLightUser,       ///< sparse usage throughout
+};
+
+/// The 23-app population used by all presets (matching the paper's
+/// Fig. 5 population size). Usage weights here are generic; archetype
+/// builders rescale or zero them so that, as in the paper, only a
+/// handful of apps see both usage and network activity for any user.
+std::vector<AppProfile> standard_app_population();
+
+/// Builds a user of the given archetype with the standard apps.
+UserProfile make_user(Archetype archetype, UserId id);
+
+/// The 8-user §III study population (one of each archetype).
+std::vector<UserProfile> study_population();
+
+/// The 3-volunteer §VI evaluation population (office worker, student,
+/// heavy messenger — spanning regular to chatty usage).
+std::vector<UserProfile> volunteer_population();
+
+}  // namespace netmaster::synth

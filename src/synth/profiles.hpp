@@ -1,0 +1,120 @@
+// Synthetic user and app profiles.
+//
+// These profiles parameterize the workload generator that stands in for
+// the paper's real traces (8 users x 3 weeks, plus 3 evaluation
+// volunteers). A profile controls exactly the statistics the paper's
+// algorithms consume: hourly usage intensity with weekday/weekend modes
+// and day-to-day noise (habit regularity), screen-session structure,
+// per-app foreground propensity, and per-app background network
+// behaviour (periodic syncs / push arrivals with screen-off trickle
+// rates).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "trace/trace.hpp"
+
+namespace netmaster::synth {
+
+/// Background traffic style of an app.
+enum class SyncStyle {
+  kNone,      ///< app never talks in the background
+  kPeriodic,  ///< fixed period with jitter (email poll, keepalive)
+  kPush,      ///< Poisson arrivals (IM push, notifications)
+};
+
+/// Behaviour of one app on a synthetic phone.
+struct AppProfile {
+  std::string name;
+
+  /// Relative share of foreground launches (0 = installed but unused).
+  double usage_weight = 0.0;
+
+  /// Optional per-hour affinity multipliers on top of the user's
+  /// intensity curve (e.g. news apps in the morning). All-ones = flat.
+  std::array<double, kHoursPerDay> hour_affinity =
+      make_flat_affinity();
+
+  /// Probability that a foreground launch triggers network transfers.
+  double fg_net_prob = 0.0;
+  /// Mean number of transfers per triggering launch (apps open several
+  /// connections per interaction: content, images, analytics). Drawn as
+  /// 1 + Poisson(fg_burst_mean − 1).
+  double fg_burst_mean = 3.0;
+  /// Log-normal (mu, sigma) of foreground transfer bytes.
+  double fg_bytes_mu = 9.0;   ///< exp(9.0) ~ 8 kB median
+  double fg_bytes_sigma = 0.8;
+
+  /// Background traffic.
+  SyncStyle sync_style = SyncStyle::kNone;
+  /// Mean interval between background sync *events* (period for
+  /// kPeriodic, Poisson mean for kPush).
+  DurationMs sync_interval_ms = 0;
+  /// Relative jitter on the periodic interval (fraction of the period).
+  double sync_jitter = 0.15;
+  /// Mean number of transfers per sync event (DNS + TCP connections to
+  /// several servers, as the screen-off measurement studies observed).
+  /// Drawn as 1 + Poisson(bg_burst_mean − 1), spaced ~25 s apart.
+  double bg_burst_mean = 1.7;
+  /// Log-normal (mu, sigma) of background transfer bytes.
+  double bg_bytes_mu = 7.4;   ///< exp(7.4) ~ 1.6 kB median
+  double bg_bytes_sigma = 0.6;
+
+  static constexpr std::array<double, kHoursPerDay> make_flat_affinity() {
+    std::array<double, kHoursPerDay> a{};
+    for (auto& v : a) v = 1.0;
+    return a;
+  }
+
+  bool has_background() const { return sync_style != SyncStyle::kNone; }
+};
+
+/// Behaviour of one synthetic user.
+struct UserProfile {
+  UserId id = 0;
+  std::string name;
+
+  /// Mean foreground launches per hour of day, weekday / weekend modes.
+  /// These are the "habit" the mining layer recovers.
+  std::array<double, kHoursPerDay> weekday_intensity{};
+  std::array<double, kHoursPerDay> weekend_intensity{};
+
+  /// Sigma of the multiplicative log-normal day-to-day noise on the
+  /// intensity curve. Small values -> highly regular user (high
+  /// intra-user Pearson); large values -> erratic user.
+  double day_noise_sigma = 0.25;
+
+  /// Hour-level presence dropout strength. For an hour with intensity
+  /// λ the user is present with probability λ/(λ+presence_c) (launch
+  /// counts are compensated so the expected intensity is unchanged).
+  /// This spreads Pr[u(ti)] across (0,1) — real users skip hours — and
+  /// is what gives the Eq. 2 threshold δ its bite (Fig. 10c). 0 turns
+  /// dropout off (perfectly habitual user).
+  double presence_c = 3.5;
+
+  /// Mean screen-session base length in ms (exponential), on top of
+  /// which foreground dwell time accumulates. The paper's Fig. 2 shows
+  /// mean sessions of roughly 10–25 s.
+  DurationMs session_base_ms = 9000;
+
+  /// Mean foreground dwell per launch in ms (exponential).
+  DurationMs usage_dwell_ms = 6000;
+
+  /// Mean transfer rates by screen state, kB/s, log-normal sigma 0.5.
+  /// Paper Fig. 1b: 90% of screen-off transfers below 1 kB/s, 90% of
+  /// screen-on transfers below 5 kB/s.
+  double screen_on_rate_kbps = 2.8;
+  double screen_off_rate_kbps = 0.45;
+
+  std::vector<AppProfile> apps;
+
+  const std::array<double, kHoursPerDay>& intensity_for_day(int day) const {
+    return is_weekend(day) ? weekend_intensity : weekday_intensity;
+  }
+};
+
+}  // namespace netmaster::synth

@@ -1,0 +1,41 @@
+// CSV serialization for traces.
+//
+// The format is a single text stream per UserTrace:
+//
+//   # netmaster-trace v1
+//   user,<id>,days,<n>
+//   app,<id>,<name>            (one line per app, ids dense from 0)
+//   screen,<begin_ms>,<end_ms>
+//   usage,<app>,<time_ms>,<duration_ms>
+//   net,<app>,<start_ms>,<duration_ms>,<down>,<up>,<user_init>,<deferrable>
+//
+// Record lines may appear in any order; parsing re-sorts and validates.
+// Blank lines and lines starting with '#' are ignored.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace netmaster {
+
+/// Raised on malformed trace input; carries line number context.
+class TraceParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Writes a trace in the v1 text format.
+void write_trace(std::ostream& os, const UserTrace& trace);
+
+/// Parses a trace from the v1 text format. Throws TraceParseError on
+/// malformed input and netmaster::Error when the parsed trace violates
+/// model invariants.
+UserTrace read_trace(std::istream& is);
+
+/// Convenience file wrappers. Throw netmaster::Error on I/O failure.
+void save_trace(const std::string& path, const UserTrace& trace);
+UserTrace load_trace(const std::string& path);
+
+}  // namespace netmaster

@@ -1,0 +1,128 @@
+#include "trace/trace_stats.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/interval.hpp"
+
+namespace netmaster {
+
+double TrafficSplit::screen_off_activity_fraction() const {
+  const std::size_t total = activities_screen_on + activities_screen_off;
+  if (total == 0) return 0.0;
+  return static_cast<double>(activities_screen_off) /
+         static_cast<double>(total);
+}
+
+double TrafficSplit::screen_off_byte_fraction() const {
+  const std::int64_t total = bytes_screen_on + bytes_screen_off;
+  if (total == 0) return 0.0;
+  return static_cast<double>(bytes_screen_off) /
+         static_cast<double>(total);
+}
+
+TrafficSplit traffic_split(const UserTrace& trace) {
+  TrafficSplit split;
+  for (const NetworkActivity& n : trace.activities) {
+    if (trace.screen_on_at(n.start)) {
+      split.bytes_screen_on += n.total_bytes();
+      ++split.activities_screen_on;
+    } else {
+      split.bytes_screen_off += n.total_bytes();
+      ++split.activities_screen_off;
+    }
+  }
+  return split;
+}
+
+RateSamples transfer_rate_samples(const UserTrace& trace) {
+  RateSamples samples;
+  for (const NetworkActivity& n : trace.activities) {
+    if (n.duration <= 0) continue;
+    auto& bucket = trace.screen_on_at(n.start) ? samples.screen_on_kbps
+                                               : samples.screen_off_kbps;
+    bucket.push_back(n.rate_kbps());
+  }
+  return samples;
+}
+
+ScreenUtilization screen_utilization(const UserTrace& trace) {
+  ScreenUtilization util;
+  if (trace.sessions.empty()) return util;
+
+  IntervalSet traffic;
+  for (const NetworkActivity& n : trace.activities) {
+    traffic.add(n.start, n.end());
+  }
+
+  DurationMs total_on = 0;
+  DurationMs total_utilized = 0;
+  for (const ScreenSession& s : trace.sessions) {
+    total_on += s.length();
+    total_utilized += traffic.overlap_length(s.begin, s.end);
+  }
+
+  const auto n = static_cast<double>(trace.sessions.size());
+  util.avg_session_s = to_seconds(total_on) / n;
+  util.avg_utilized_s = to_seconds(total_utilized) / n;
+  util.radio_utilization =
+      total_on > 0 ? static_cast<double>(total_utilized) /
+                         static_cast<double>(total_on)
+                   : 0.0;
+  return util;
+}
+
+IntensityVector usage_intensity(const UserTrace& trace) {
+  IntensityVector intensity{};
+  for (const AppUsage& u : trace.usages) {
+    intensity[static_cast<std::size_t>(hour_of(u.time))] += 1.0;
+  }
+  return intensity;
+}
+
+IntensityVector usage_intensity_for_day(const UserTrace& trace, int day) {
+  NM_REQUIRE(day >= 0 && day < trace.num_days, "day out of trace range");
+  IntensityVector intensity{};
+  for (const AppUsage& u : trace.usages) {
+    if (day_of(u.time) == day) {
+      intensity[static_cast<std::size_t>(hour_of(u.time))] += 1.0;
+    }
+  }
+  return intensity;
+}
+
+std::vector<IntensityVector> per_app_intensity(const UserTrace& trace) {
+  std::vector<IntensityVector> result(trace.app_names.size(),
+                                      IntensityVector{});
+  for (const AppUsage& u : trace.usages) {
+    result[static_cast<std::size_t>(u.app)]
+          [static_cast<std::size_t>(hour_of(u.time))] += 1.0;
+  }
+  return result;
+}
+
+std::vector<std::size_t> per_app_usage_counts(const UserTrace& trace) {
+  std::vector<std::size_t> counts(trace.app_names.size(), 0);
+  for (const AppUsage& u : trace.usages) {
+    ++counts[static_cast<std::size_t>(u.app)];
+  }
+  return counts;
+}
+
+std::size_t active_networked_app_count(const UserTrace& trace) {
+  std::vector<bool> used(trace.app_names.size(), false);
+  std::vector<bool> networked(trace.app_names.size(), false);
+  for (const AppUsage& u : trace.usages) {
+    used[static_cast<std::size_t>(u.app)] = true;
+  }
+  for (const NetworkActivity& n : trace.activities) {
+    networked[static_cast<std::size_t>(n.app)] = true;
+  }
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < used.size(); ++i) {
+    if (used[i] && networked[i]) ++count;
+  }
+  return count;
+}
+
+}  // namespace netmaster

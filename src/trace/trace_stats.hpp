@@ -1,0 +1,69 @@
+// Trace profiling statistics — the measurements behind the paper's
+// motivation study (Figs. 1, 2, 5) and the inputs to the mining layer.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace netmaster {
+
+/// Split of network traffic by screen state (Fig. 1a).
+struct TrafficSplit {
+  std::int64_t bytes_screen_on = 0;
+  std::int64_t bytes_screen_off = 0;
+  std::size_t activities_screen_on = 0;
+  std::size_t activities_screen_off = 0;
+
+  /// Fraction of activities happening with the screen off (the paper's
+  /// headline 40.98%). 0 for traffic-free traces.
+  double screen_off_activity_fraction() const;
+  /// Fraction of bytes moved with the screen off.
+  double screen_off_byte_fraction() const;
+};
+
+/// Classifies each activity by the screen state at its start.
+TrafficSplit traffic_split(const UserTrace& trace);
+
+/// Per-activity mean transfer rates (kB/s), split by screen state at the
+/// activity's start. Zero-duration activities are skipped (they have no
+/// defined rate). Feed into empirical_cdf for Fig. 1b.
+struct RateSamples {
+  std::vector<double> screen_on_kbps;
+  std::vector<double> screen_off_kbps;
+};
+
+RateSamples transfer_rate_samples(const UserTrace& trace);
+
+/// Screen-on time utilization (Fig. 2).
+struct ScreenUtilization {
+  double avg_session_s = 0.0;       ///< mean screen-session length
+  double avg_utilized_s = 0.0;      ///< mean per-session time with traffic
+  double radio_utilization = 0.0;   ///< utilized / total screen-on time
+};
+
+ScreenUtilization screen_utilization(const UserTrace& trace);
+
+/// 24-dim usage-intensity vector: total foreground interactions per
+/// hour of day, summed over all days (the paper's "intensity").
+using IntensityVector = std::array<double, kHoursPerDay>;
+
+/// Intensity over the whole trace.
+IntensityVector usage_intensity(const UserTrace& trace);
+
+/// Intensity of one day only (hour buckets of that day).
+IntensityVector usage_intensity_for_day(const UserTrace& trace, int day);
+
+/// Per-app intensity over the whole trace (Fig. 5): result[app][hour].
+std::vector<IntensityVector> per_app_intensity(const UserTrace& trace);
+
+/// Total foreground interaction count per app.
+std::vector<std::size_t> per_app_usage_counts(const UserTrace& trace);
+
+/// Number of apps with at least one usage AND at least one network
+/// activity — the candidates for "Special Apps" (Fig. 5 reports 8 of 23).
+std::size_t active_networked_app_count(const UserTrace& trace);
+
+}  // namespace netmaster

@@ -1,0 +1,172 @@
+// Tests for the accounting layer (PolicyOutcome -> SimReport).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/accounting.hpp"
+
+namespace netmaster::sim {
+namespace {
+
+UserTrace fixture() {
+  UserTrace t;
+  t.user = 1;
+  t.num_days = 1;
+  t.app_names = {"a"};
+  t.sessions = {{seconds(50), seconds(80)}};
+  t.usages = {{0, seconds(55), seconds(5)}, {0, seconds(70), seconds(5)}};
+  NetworkActivity n1;
+  n1.app = 0;
+  n1.start = seconds(10);
+  n1.duration = seconds(4);
+  n1.bytes_down = 8000;
+  n1.bytes_up = 2000;
+  n1.deferrable = true;
+  NetworkActivity n2 = n1;
+  n2.start = seconds(60);
+  n2.bytes_down = 4000;
+  n2.bytes_up = 0;
+  n2.user_initiated = true;
+  n2.deferrable = false;
+  t.activities = {n1, n2};
+  return t;
+}
+
+PolicyOutcome in_place_outcome(const UserTrace& t) {
+  PolicyOutcome o;
+  o.policy_name = "test";
+  for (std::size_t i = 0; i < t.activities.size(); ++i) {
+    o.transfers.push_back(
+        {i, t.activities[i].start, t.activities[i].duration});
+  }
+  return o;
+}
+
+TEST(Accounting, BasicMetrics) {
+  const UserTrace t = fixture();
+  const SimReport r =
+      account(t, in_place_outcome(t), RadioPowerParams::wcdma());
+  EXPECT_EQ(r.policy_name, "test");
+  EXPECT_EQ(r.bytes_down, 12'000);
+  EXPECT_EQ(r.bytes_up, 2000);
+  EXPECT_GT(r.energy_j, 0.0);
+  EXPECT_GT(r.radio_on_ms, 0);
+  EXPECT_EQ(r.total_usages, 2u);
+  EXPECT_EQ(r.screen_on_ms, seconds(30));
+  EXPECT_EQ(r.horizon_ms, kMsPerDay);
+  // Two isolated transfers: two promotions.
+  EXPECT_EQ(r.radio.promotions, 2);
+  // Peak rates from single activities: n1 down 8kB/4s = 2 kB/s.
+  EXPECT_DOUBLE_EQ(r.peak_down_rate_kbps, 2.0);
+  EXPECT_DOUBLE_EQ(r.peak_up_rate_kbps, 0.5);
+  // Avg rate = bytes / radio-on seconds.
+  EXPECT_NEAR(r.avg_down_rate_kbps,
+              12.0 / to_seconds(r.radio_on_ms), 1e-9);
+}
+
+TEST(Accounting, MissingTransferThrows) {
+  const UserTrace t = fixture();
+  PolicyOutcome o = in_place_outcome(t);
+  o.transfers.pop_back();
+  EXPECT_THROW(account(t, o, RadioPowerParams::wcdma()), Error);
+}
+
+TEST(Accounting, DuplicateTransferThrows) {
+  const UserTrace t = fixture();
+  PolicyOutcome o = in_place_outcome(t);
+  o.transfers.back().activity_index = 0;
+  EXPECT_THROW(account(t, o, RadioPowerParams::wcdma()), Error);
+}
+
+TEST(Accounting, TransferBeyondHorizonThrows) {
+  const UserTrace t = fixture();
+  PolicyOutcome o = in_place_outcome(t);
+  o.transfers.back().start = t.trace_end() - 1000;
+  EXPECT_THROW(account(t, o, RadioPowerParams::wcdma()), Error);
+}
+
+TEST(Accounting, UnknownActivityIndexThrows) {
+  const UserTrace t = fixture();
+  PolicyOutcome o = in_place_outcome(t);
+  o.transfers.back().activity_index = 99;
+  EXPECT_THROW(account(t, o, RadioPowerParams::wcdma()), Error);
+}
+
+TEST(Accounting, BlockedWindowsCountAffectedUsages) {
+  const UserTrace t = fixture();
+  PolicyOutcome o = in_place_outcome(t);
+  o.blocked.add(seconds(54), seconds(56));  // covers the first usage
+  const SimReport r = account(t, o, RadioPowerParams::wcdma());
+  EXPECT_EQ(r.affected_usages, 1u);
+  EXPECT_DOUBLE_EQ(r.affected_fraction, 0.5);
+}
+
+TEST(Accounting, InterruptsAddToAffectedFraction) {
+  const UserTrace t = fixture();
+  PolicyOutcome o = in_place_outcome(t);
+  o.interrupts = 1;
+  const SimReport r = account(t, o, RadioPowerParams::wcdma());
+  EXPECT_DOUBLE_EQ(r.affected_fraction, 0.5);
+  EXPECT_EQ(r.interrupts, 1u);
+}
+
+TEST(Accounting, DutyWakesChargedAtFachPower) {
+  const UserTrace t = fixture();
+  PolicyOutcome quiet = in_place_outcome(t);
+  const SimReport base = account(t, quiet, RadioPowerParams::wcdma());
+
+  PolicyOutcome with_wakes = in_place_outcome(t);
+  with_wakes.wakes.push_back({seconds(200), 2000, false});
+  const SimReport r = account(t, with_wakes, RadioPowerParams::wcdma());
+  EXPECT_EQ(r.wake_count, 1u);
+  const double expected = 460.0 * 2000 * 1e-6;
+  EXPECT_NEAR(r.duty_energy_j, expected, 1e-9);
+  EXPECT_NEAR(r.energy_j, base.energy_j + expected, 1e-9);
+  EXPECT_EQ(r.radio_on_ms, base.radio_on_ms + 2000);
+}
+
+TEST(Accounting, WakeOverlappingTransferNotDoubleCharged) {
+  const UserTrace t = fixture();
+  PolicyOutcome o = in_place_outcome(t);
+  // Probe entirely inside the first transfer: zero extra energy.
+  o.wakes.push_back({seconds(11), 2000, true});
+  const SimReport r = account(t, o, RadioPowerParams::wcdma());
+  EXPECT_DOUBLE_EQ(r.duty_energy_j, 0.0);
+}
+
+TEST(Accounting, RadioAllowedCutsEnergy) {
+  const UserTrace t = fixture();
+  PolicyOutcome stock = in_place_outcome(t);
+  const SimReport full = account(t, stock, RadioPowerParams::wcdma());
+
+  PolicyOutcome switched = in_place_outcome(t);
+  switched.radio_allowed = IntervalSet{};  // transfers only, no tails
+  const SimReport cut = account(t, switched, RadioPowerParams::wcdma());
+  EXPECT_LT(cut.energy_j, full.energy_j);
+  EXPECT_LT(cut.radio_on_ms, full.radio_on_ms);
+}
+
+TEST(Accounting, MeanDeferralLatency) {
+  const UserTrace t = fixture();
+  PolicyOutcome o = in_place_outcome(t);
+  o.deferral_latency_s = {10.0, 30.0};
+  const SimReport r = account(t, o, RadioPowerParams::wcdma());
+  EXPECT_EQ(r.deferred_count, 2u);
+  EXPECT_DOUBLE_EQ(r.mean_deferral_latency_s, 20.0);
+}
+
+TEST(Accounting, EmptyTrace) {
+  UserTrace t;
+  t.user = 1;
+  t.num_days = 1;
+  t.app_names = {"a"};
+  PolicyOutcome o;
+  o.policy_name = "empty";
+  const SimReport r = account(t, o, RadioPowerParams::wcdma());
+  EXPECT_DOUBLE_EQ(r.energy_j, 0.0);
+  EXPECT_EQ(r.radio_on_ms, 0);
+  EXPECT_DOUBLE_EQ(r.affected_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(r.avg_down_rate_kbps, 0.0);
+}
+
+}  // namespace
+}  // namespace netmaster::sim

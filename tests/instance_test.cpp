@@ -1,0 +1,167 @@
+// Tests for the profit model and scheduling-instance builder.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "mining/habits.hpp"
+#include "sched/instance.hpp"
+
+namespace netmaster::sched {
+namespace {
+
+/// A predictor mined from a trace with weekday usage at hours 8 and 18
+/// every day (Pr = 1 there, 0 elsewhere).
+mining::SlotPredictor make_predictor() {
+  UserTrace t;
+  t.user = 1;
+  t.num_days = 7;
+  t.app_names = {"a"};
+  for (int day = 0; day < 7; ++day) {
+    for (int hour : {8, 18}) {
+      const TimeMs at = hour_start(day, hour) + kMsPerMinute;
+      t.sessions.push_back({at, at + 5000});
+      t.usages.push_back({0, at, 1000});
+    }
+  }
+  return mining::SlotPredictor(mining::HabitModel::mine(t),
+                               mining::PredictorConfig{});
+}
+
+NetworkActivity activity(TimeMs start, DurationMs dur = 2000,
+                         std::int64_t bytes = 1000) {
+  NetworkActivity n;
+  n.app = 0;
+  n.start = start;
+  n.duration = dur;
+  n.bytes_down = bytes;
+  n.deferrable = true;
+  return n;
+}
+
+TEST(ProfitModel, EnergySavingPositive) {
+  const ProfitConfig cfg;
+  const NetworkActivity n = activity(1000);
+  EXPECT_GT(energy_saving_j(n, cfg), 0.0);
+  // Longer transfers save at most the same overhead (tails are fixed).
+  const NetworkActivity longer = activity(1000, 60'000);
+  EXPECT_NEAR(energy_saving_j(n, cfg), energy_saving_j(longer, cfg),
+              1e-9);
+}
+
+TEST(ProfitModel, PenaltyGrowsWithWindowAndProbability) {
+  const ProfitConfig cfg;
+  const mining::SlotPredictor pred = make_predictor();
+  // Deferral across a quiet stretch (hours 2 -> 4): Pr = 0 everywhere.
+  const double quiet = deferral_penalty_j(hour_start(0, 2),
+                                          hour_start(0, 4), pred, cfg);
+  EXPECT_DOUBLE_EQ(quiet, 0.0);
+  // Deferral across the hour-8 active slot picks up probability mass.
+  const double busy = deferral_penalty_j(hour_start(0, 7),
+                                         hour_start(0, 10), pred, cfg);
+  EXPECT_GT(busy, 0.0);
+  // Widening the window can only grow the penalty.
+  const double wider = deferral_penalty_j(hour_start(0, 5),
+                                          hour_start(0, 12), pred, cfg);
+  EXPECT_GT(wider, busy);
+  // The penalty is symmetric in direction (prefetch windows charge the
+  // same way).
+  EXPECT_DOUBLE_EQ(deferral_penalty_j(hour_start(0, 10), hour_start(0, 7),
+                                      pred, cfg),
+                   busy);
+}
+
+TEST(ProfitModel, SlotCapacityEq5) {
+  ProfitConfig cfg;
+  cfg.bandwidth_kbps = 25.0;
+  // A 1-hour slot: 25 kB/s * 3600 s = 90 MB.
+  EXPECT_EQ(slot_capacity_bytes({0, kMsPerHour}, cfg), 90'000'000);
+  cfg.bandwidth_kbps = 0.0;
+  EXPECT_THROW(slot_capacity_bytes({0, kMsPerHour}, cfg), Error);
+}
+
+TEST(ProfitModel, AssignmentAnchor) {
+  const Interval slot{1000, 2000};
+  EXPECT_EQ(assignment_anchor(slot, 5000), 2000);  // preceding slot
+  EXPECT_EQ(assignment_anchor(slot, 500), 1000);   // following slot
+  EXPECT_EQ(assignment_anchor(slot, 1500), 1500);  // inside
+}
+
+TEST(BuildInstance, MapsItemsToAdjacentSlots) {
+  const mining::SlotPredictor pred = make_predictor();
+  const ProfitConfig cfg;
+  const std::vector<Interval> slots = {
+      {hour_start(0, 8), hour_start(0, 9)},
+      {hour_start(0, 18), hour_start(0, 19)},
+  };
+  const std::vector<NetworkActivity> pending = {
+      activity(hour_start(0, 3)),    // before first slot
+      activity(hour_start(0, 12)),   // between slots
+      activity(hour_start(0, 22)),   // after last slot
+  };
+  const Instance inst = build_instance(slots, pending, pred, cfg);
+  ASSERT_EQ(inst.items.size(), 3u);
+  ASSERT_EQ(inst.slots.size(), 2u);
+
+  EXPECT_EQ(inst.items[0].prev_slot, -1);
+  EXPECT_EQ(inst.items[0].next_slot, 0);
+  EXPECT_EQ(inst.items[1].prev_slot, 0);
+  EXPECT_EQ(inst.items[1].next_slot, 1);
+  EXPECT_EQ(inst.items[2].prev_slot, 1);
+  EXPECT_EQ(inst.items[2].next_slot, -1);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(inst.item_activity[i], i);
+    EXPECT_EQ(inst.items[i].weight, pending[i].total_bytes());
+  }
+  EXPECT_TRUE(inst.unschedulable.empty());
+}
+
+TEST(BuildInstance, ExcludesInSlotActivities) {
+  const mining::SlotPredictor pred = make_predictor();
+  const std::vector<Interval> slots = {
+      {hour_start(0, 8), hour_start(0, 9)}};
+  const std::vector<NetworkActivity> pending = {
+      activity(hour_start(0, 8) + kMsPerMinute)};  // inside the slot
+  const Instance inst = build_instance(slots, pending, pred, {});
+  EXPECT_TRUE(inst.items.empty());
+  EXPECT_TRUE(inst.unschedulable.empty());
+}
+
+TEST(BuildInstance, NoSlotsMeansUnschedulable) {
+  const mining::SlotPredictor pred = make_predictor();
+  const std::vector<NetworkActivity> pending = {activity(1000)};
+  const Instance inst = build_instance({}, pending, pred, {});
+  EXPECT_TRUE(inst.items.empty());
+  ASSERT_EQ(inst.unschedulable.size(), 1u);
+  EXPECT_EQ(inst.unschedulable[0], 0u);
+}
+
+TEST(BuildInstance, RejectsNonDeferrable) {
+  const mining::SlotPredictor pred = make_predictor();
+  NetworkActivity n = activity(1000);
+  n.deferrable = false;
+  EXPECT_THROW(
+      build_instance({}, std::vector<NetworkActivity>{n}, pred, {}),
+      Error);
+}
+
+TEST(BuildInstance, RejectsOverlappingSlots) {
+  const mining::SlotPredictor pred = make_predictor();
+  const std::vector<Interval> slots = {{0, 2000}, {1000, 3000}};
+  EXPECT_THROW(build_instance(slots, {}, pred, {}), Error);
+}
+
+TEST(BuildInstance, ProfitReflectsDistance) {
+  // An activity just before a slot has a smaller penalty than one far
+  // before it (same ΔE), so its profit is at least as large.
+  const mining::SlotPredictor pred = make_predictor();
+  const std::vector<Interval> slots = {
+      {hour_start(0, 18), hour_start(0, 19)}};
+  const std::vector<NetworkActivity> near = {
+      activity(hour_start(0, 17) + 50 * kMsPerMinute)};
+  const std::vector<NetworkActivity> far = {activity(hour_start(0, 9))};
+  const Instance inst_near = build_instance(slots, near, pred, {});
+  const Instance inst_far = build_instance(slots, far, pred, {});
+  EXPECT_GE(inst_near.items[0].profit, inst_far.items[0].profit);
+}
+
+}  // namespace
+}  // namespace netmaster::sched

@@ -1,0 +1,201 @@
+// End-to-end integration tests: synth -> mine -> schedule -> simulate,
+// with the cross-policy invariants that define the paper's result,
+// parameterized over volunteers and seeds.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "eval/experiments.hpp"
+#include "policy/baseline.hpp"
+#include "policy/delay_batch.hpp"
+#include "policy/netmaster.hpp"
+#include "policy/oracle.hpp"
+#include "sim/accounting.hpp"
+#include "synth/generator.hpp"
+#include "synth/presets.hpp"
+#include "trace/trace_io.hpp"
+
+namespace netmaster {
+namespace {
+
+struct Scenario {
+  synth::Archetype archetype;
+  std::uint64_t seed;
+};
+
+class Pipeline : public ::testing::TestWithParam<Scenario> {
+ protected:
+  void SetUp() override {
+    const auto profile = synth::make_user(GetParam().archetype, 1);
+    const UserTrace full =
+        synth::generate_trace(profile, 21, GetParam().seed);
+    training_ = full.slice_days(0, 14);
+    eval_ = full.slice_days(14, 7);
+    radio_ = RadioPowerParams::wcdma();
+    baseline_ = sim::account(eval_, policy::BaselinePolicy().run(eval_),
+                             radio_);
+  }
+
+  UserTrace training_;
+  UserTrace eval_;
+  RadioPowerParams radio_;
+  sim::SimReport baseline_;
+};
+
+TEST_P(Pipeline, NetMasterSavesSubstantialEnergy) {
+  const policy::NetMasterPolicy nm(training_, policy::NetMasterConfig{});
+  const sim::SimReport rep = sim::account(eval_, nm.run(eval_), radio_);
+  // The headline claim, with slack for workload variety: NetMaster
+  // saves a large fraction of radio energy and radio-on time.
+  EXPECT_LT(rep.energy_j, 0.65 * baseline_.energy_j);
+  EXPECT_LT(rep.radio_on_ms, 0.65 * baseline_.radio_on_ms);
+}
+
+TEST_P(Pipeline, AllBytesEventuallyMove) {
+  const policy::NetMasterPolicy nm(training_, policy::NetMasterConfig{});
+  const sim::SimReport rep = sim::account(eval_, nm.run(eval_), radio_);
+  EXPECT_EQ(rep.bytes_down, baseline_.bytes_down);
+  EXPECT_EQ(rep.bytes_up, baseline_.bytes_up);
+}
+
+TEST_P(Pipeline, OracleAndNetMasterAgreeClosely) {
+  const policy::NetMasterPolicy nm(training_, policy::NetMasterConfig{});
+  const policy::OraclePolicy oracle;
+  const double e_nm =
+      sim::account(eval_, nm.run(eval_), radio_).energy_j;
+  const double e_oracle =
+      sim::account(eval_, oracle.run(eval_), radio_).energy_j;
+  // The paper reports a gap below 5% of baseline in ~82% of runs and
+  // 11.2% worst case; allow 15% of baseline either way (our oracle is a
+  // strong heuristic, not a proven optimum).
+  EXPECT_NEAR(e_nm, e_oracle, 0.15 * baseline_.energy_j);
+}
+
+TEST_P(Pipeline, UserExperiencePreserved) {
+  const policy::NetMasterPolicy nm(training_, policy::NetMasterConfig{});
+  const sim::SimReport rep = sim::account(eval_, nm.run(eval_), radio_);
+  EXPECT_LT(rep.affected_fraction, 0.01);  // paper: < 1%
+}
+
+TEST_P(Pipeline, NetMasterBeatsDelayAndBatch) {
+  const policy::NetMasterPolicy nm(training_, policy::NetMasterConfig{});
+  const double e_nm =
+      sim::account(eval_, nm.run(eval_), radio_).energy_j;
+  for (double interval_s : {10.0, 20.0, 60.0}) {
+    const policy::DelayBatchPolicy db(seconds(interval_s));
+    const double e_db =
+        sim::account(eval_, db.run(eval_), radio_).energy_j;
+    EXPECT_LT(e_nm, e_db) << "interval " << interval_s;
+    EXPECT_LE(e_db, baseline_.energy_j + 1e-6);
+  }
+}
+
+TEST_P(Pipeline, BandwidthUtilizationImproves) {
+  const policy::NetMasterPolicy nm(training_, policy::NetMasterConfig{});
+  const sim::SimReport rep = sim::account(eval_, nm.run(eval_), radio_);
+  EXPECT_GT(rep.avg_down_rate_kbps, 1.5 * baseline_.avg_down_rate_kbps);
+  // Peak rates do not change (paper Fig. 7c).
+  EXPECT_DOUBLE_EQ(rep.peak_down_rate_kbps,
+                   baseline_.peak_down_rate_kbps);
+}
+
+TEST_P(Pipeline, ReportsAreDeterministic) {
+  const policy::NetMasterPolicy nm(training_, policy::NetMasterConfig{});
+  const sim::SimReport a = sim::account(eval_, nm.run(eval_), radio_);
+  const sim::SimReport b = sim::account(eval_, nm.run(eval_), radio_);
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+  EXPECT_EQ(a.radio_on_ms, b.radio_on_ms);
+  EXPECT_EQ(a.wake_count, b.wake_count);
+}
+
+TEST_P(Pipeline, TracesSurviveSerialization) {
+  std::stringstream ss;
+  write_trace(ss, eval_);
+  const UserTrace back = read_trace(ss);
+  const policy::NetMasterPolicy nm(training_, policy::NetMasterConfig{});
+  const sim::SimReport from_original =
+      sim::account(eval_, nm.run(eval_), radio_);
+  const sim::SimReport from_roundtrip =
+      sim::account(back, nm.run(back), radio_);
+  EXPECT_DOUBLE_EQ(from_original.energy_j, from_roundtrip.energy_j);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VolunteersAndSeeds, Pipeline,
+    ::testing::Values(
+        Scenario{synth::Archetype::kOfficeWorker, 42},
+        Scenario{synth::Archetype::kStudent, 42},
+        Scenario{synth::Archetype::kHeavyMessenger, 42},
+        Scenario{synth::Archetype::kOfficeWorker, 7},
+        Scenario{synth::Archetype::kStudent, 1234},
+        Scenario{synth::Archetype::kCommuter, 42},
+        Scenario{synth::Archetype::kNightOwl, 42},
+        Scenario{synth::Archetype::kRetiree, 42}));
+
+// Pathological workloads the system must survive.
+TEST(PipelineEdgeCases, NoScreenOffTraffic) {
+  UserTrace training;
+  training.user = 1;
+  training.num_days = 7;
+  training.app_names = {"a"};
+  for (int day = 0; day < 7; ++day) {
+    const TimeMs at = hour_start(day, 12);
+    training.sessions.push_back({at, at + 60'000});
+    training.usages.push_back({0, at, 5000});
+    NetworkActivity n;
+    n.app = 0;
+    n.start = at + 1000;
+    n.duration = 2000;
+    n.bytes_down = 1000;
+    n.user_initiated = true;
+    training.activities.push_back(n);
+  }
+  const UserTrace eval = training;
+  const policy::NetMasterPolicy nm(training, policy::NetMasterConfig{});
+  const sim::SimReport rep = sim::account(
+      eval, nm.run(eval), RadioPowerParams::wcdma());
+  EXPECT_EQ(rep.interrupts, 0u);
+  EXPECT_GT(rep.energy_j, 0.0);
+}
+
+TEST(PipelineEdgeCases, AllNightSyncsOnly) {
+  // No usage at all: everything rides the duty-cycle path.
+  UserTrace training;
+  training.user = 1;
+  training.num_days = 7;
+  training.app_names = {"sync"};
+  for (int day = 0; day < 7; ++day) {
+    for (int hour = 0; hour < 24; hour += 2) {
+      NetworkActivity n;
+      n.app = 0;
+      n.start = hour_start(day, hour);
+      n.duration = 3000;
+      n.bytes_down = 500;
+      n.deferrable = true;
+      training.activities.push_back(n);
+    }
+  }
+  const UserTrace eval = training;
+  const policy::NetMasterPolicy nm(training, policy::NetMasterConfig{});
+  const sim::PolicyOutcome o = nm.run(eval);
+  EXPECT_EQ(o.transfers.size(), eval.activities.size());
+  EXPECT_GT(o.duty_releases, 0u);
+  EXPECT_NO_THROW(
+      sim::account(eval, o, RadioPowerParams::wcdma()));
+}
+
+TEST(PipelineEdgeCases, EmptyEvalTrace) {
+  const auto profile = synth::make_user(synth::Archetype::kLightUser, 1);
+  const UserTrace training = synth::generate_trace(profile, 7, 3);
+  UserTrace eval;
+  eval.user = 1;
+  eval.num_days = 1;
+  eval.app_names = training.app_names;
+  const policy::NetMasterPolicy nm(training, policy::NetMasterConfig{});
+  const sim::SimReport rep = sim::account(
+      eval, nm.run(eval), RadioPowerParams::wcdma());
+  EXPECT_DOUBLE_EQ(rep.transfer_energy_j, 0.0);
+}
+
+}  // namespace
+}  // namespace netmaster

@@ -1,0 +1,148 @@
+// Tests for the 0/1 knapsack solvers, including the (1−ε) FPTAS bound
+// as a property suite against the exact DP.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sched/knapsack.hpp"
+
+namespace netmaster::sched {
+namespace {
+
+TEST(KnapsackExact, KnownInstance) {
+  // Classic: capacity 10, best = items {1,2} with profit 9.
+  const std::vector<KnapItem> items = {
+      {0, 6.0, 7}, {1, 5.0, 5}, {2, 4.0, 4}, {3, 1.0, 3}};
+  const KnapResult r = knapsack_exact(items, 10);
+  EXPECT_DOUBLE_EQ(r.profit, 9.0);
+  EXPECT_EQ(r.weight, 9);
+  EXPECT_EQ(r.chosen, (std::vector<int>{1, 2}));
+}
+
+TEST(KnapsackExact, ZeroCapacityTakesOnlyWeightless) {
+  const std::vector<KnapItem> items = {{0, 3.0, 0}, {1, 9.0, 1}};
+  const KnapResult r = knapsack_exact(items, 0);
+  EXPECT_DOUBLE_EQ(r.profit, 3.0);
+  EXPECT_EQ(r.chosen, (std::vector<int>{0}));
+}
+
+TEST(KnapsackExact, IgnoresNonPositiveProfit) {
+  const std::vector<KnapItem> items = {{0, -5.0, 1}, {1, 0.0, 1},
+                                       {2, 2.0, 1}};
+  const KnapResult r = knapsack_exact(items, 10);
+  EXPECT_DOUBLE_EQ(r.profit, 2.0);
+  EXPECT_EQ(r.chosen.size(), 1u);
+}
+
+TEST(KnapsackExact, EmptyAndErrors) {
+  EXPECT_DOUBLE_EQ(knapsack_exact({}, 100).profit, 0.0);
+  EXPECT_THROW(knapsack_exact({}, -1), Error);
+  const std::vector<KnapItem> neg = {{0, 1.0, -2}};
+  EXPECT_THROW(knapsack_exact(neg, 10), Error);
+  EXPECT_THROW(knapsack_exact({}, 100'000'000), Error);
+}
+
+TEST(KnapsackGreedy, TakesByRatio) {
+  const std::vector<KnapItem> items = {
+      {0, 10.0, 10}, {1, 9.0, 3}, {2, 8.0, 3}};  // ratios 1, 3, 2.67
+  const KnapResult r = knapsack_greedy(items, 7);
+  EXPECT_DOUBLE_EQ(r.profit, 17.0);  // takes 1 then 2; 0 no longer fits
+  EXPECT_EQ(r.weight, 6);
+}
+
+TEST(KnapsackGreedy, ZeroWeightFirst) {
+  const std::vector<KnapItem> items = {{0, 1.0, 5}, {1, 0.5, 0}};
+  const KnapResult r = knapsack_greedy(items, 5);
+  EXPECT_DOUBLE_EQ(r.profit, 1.5);
+}
+
+TEST(KnapsackFptas, TrivialCases) {
+  EXPECT_DOUBLE_EQ(knapsack_fptas({}, 100, 0.1).profit, 0.0);
+  const std::vector<KnapItem> items = {{0, 5.0, 200}};  // does not fit
+  EXPECT_DOUBLE_EQ(knapsack_fptas(items, 100, 0.1).profit, 0.0);
+  const std::vector<KnapItem> zero_w = {{0, 5.0, 0}, {1, 3.0, 50}};
+  const KnapResult r = knapsack_fptas(zero_w, 100, 0.1);
+  EXPECT_DOUBLE_EQ(r.profit, 8.0);
+}
+
+TEST(KnapsackFptas, EpsValidation) {
+  const std::vector<KnapItem> items = {{0, 1.0, 1}};
+  EXPECT_THROW(knapsack_fptas(items, 10, 0.0), Error);
+  EXPECT_THROW(knapsack_fptas(items, 10, 1.0), Error);
+  EXPECT_THROW(knapsack_fptas(items, 10, -0.5), Error);
+  EXPECT_NO_THROW(knapsack_fptas(items, 10, 0.999));
+}
+
+TEST(KnapsackFptas, RespectsCapacity) {
+  Rng rng(5);
+  for (int run = 0; run < 50; ++run) {
+    std::vector<KnapItem> items;
+    for (int i = 0; i < 30; ++i) {
+      items.push_back({i, rng.uniform(0.1, 50.0),
+                       rng.uniform_int(1, 40)});
+    }
+    const std::int64_t cap = rng.uniform_int(10, 300);
+    const KnapResult r = knapsack_fptas(items, cap, 0.2);
+    EXPECT_LE(r.weight, cap);
+    double profit = 0.0;
+    for (int id : r.chosen) profit += items[id].profit;
+    EXPECT_NEAR(profit, r.profit, 1e-9);
+  }
+}
+
+TEST(FractionalBound, DominatesExact) {
+  Rng rng(6);
+  for (int run = 0; run < 30; ++run) {
+    std::vector<KnapItem> items;
+    for (int i = 0; i < 20; ++i) {
+      items.push_back({i, rng.uniform(0.1, 30.0),
+                       rng.uniform_int(1, 30)});
+    }
+    const std::int64_t cap = rng.uniform_int(5, 200);
+    EXPECT_GE(fractional_upper_bound(items, cap) + 1e-9,
+              knapsack_exact(items, cap).profit);
+  }
+}
+
+// Property suite: FPTAS >= (1 - eps) * OPT across eps values and
+// random instances; greedy is also compared for reference feasibility.
+struct FptasCase {
+  double eps;
+  std::uint64_t seed;
+};
+
+class FptasBound : public ::testing::TestWithParam<FptasCase> {};
+
+TEST_P(FptasBound, AchievesGuarantee) {
+  const auto [eps, seed] = GetParam();
+  Rng rng(seed);
+  for (int run = 0; run < 25; ++run) {
+    std::vector<KnapItem> items;
+    const int n = static_cast<int>(rng.uniform_int(5, 40));
+    for (int i = 0; i < n; ++i) {
+      items.push_back({i, rng.uniform(0.5, 100.0),
+                       rng.uniform_int(1, 50)});
+    }
+    const std::int64_t cap = rng.uniform_int(20, 400);
+    const double exact = knapsack_exact(items, cap).profit;
+    const KnapResult approx = knapsack_fptas(items, cap, eps);
+    EXPECT_GE(approx.profit, (1.0 - eps) * exact - 1e-9)
+        << "eps=" << eps << " run=" << run;
+    EXPECT_LE(approx.profit, exact + 1e-9);
+    EXPECT_LE(approx.weight, cap);
+    // Greedy stays feasible too.
+    const KnapResult greedy = knapsack_greedy(items, cap);
+    EXPECT_LE(greedy.weight, cap);
+    EXPECT_LE(greedy.profit, exact + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EpsGrid, FptasBound,
+    ::testing::Values(FptasCase{0.01, 1}, FptasCase{0.05, 2},
+                      FptasCase{0.1, 3}, FptasCase{0.1, 4},
+                      FptasCase{0.25, 5}, FptasCase{0.5, 6},
+                      FptasCase{0.75, 7}, FptasCase{0.9, 8}));
+
+}  // namespace
+}  // namespace netmaster::sched

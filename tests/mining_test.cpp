@@ -1,0 +1,238 @@
+// Tests for habit mining, slot prediction (Eqs. 2–3) and special apps.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "mining/habits.hpp"
+#include "mining/special_apps.hpp"
+#include "synth/generator.hpp"
+#include "synth/presets.hpp"
+
+namespace netmaster::mining {
+namespace {
+
+/// 7-day hand-built trace (days 0–4 weekdays, 5–6 weekend under the
+/// day-0-is-Monday convention): usage at hour 9 every weekday, hour 20
+/// on 3 of 5 weekdays, hour 11 on weekends only; screen-off network
+/// activity at hour 3 every day.
+UserTrace fixture() {
+  UserTrace t;
+  t.user = 1;
+  t.num_days = 7;
+  t.app_names = {"im", "game"};
+  for (int day = 0; day < 7; ++day) {
+    const bool weekend = is_weekend(day);
+    auto add_usage = [&](int hour, AppId app) {
+      const TimeMs at = hour_start(day, hour) + 5 * kMsPerMinute;
+      t.sessions.push_back({at, at + 30'000});
+      t.usages.push_back({app, at, 10'000});
+    };
+    if (!weekend) {
+      add_usage(9, 0);
+      if (day < 3) add_usage(20, 0);
+    } else {
+      add_usage(11, 1);
+    }
+    // Screen-off network activity by app 0 at hour 3, every day.
+    t.activities.push_back({0, hour_start(day, 3), 2000, 100, 10,
+                            false, true});
+  }
+  return t;
+}
+
+TEST(HabitModel, PrActiveExactValues) {
+  const HabitModel model = HabitModel::mine(fixture());
+  const HourStats& wd = model.stats(DayKind::kWeekday);
+  EXPECT_EQ(wd.days_observed, 5);
+  EXPECT_DOUBLE_EQ(wd.pr_active[9], 1.0);
+  EXPECT_DOUBLE_EQ(wd.pr_active[20], 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(wd.pr_active[11], 0.0);
+  const HourStats& we = model.stats(DayKind::kWeekend);
+  EXPECT_EQ(we.days_observed, 2);
+  EXPECT_DOUBLE_EQ(we.pr_active[11], 1.0);
+  EXPECT_DOUBLE_EQ(we.pr_active[9], 0.0);
+}
+
+TEST(HabitModel, ScreenOffNetworkStats) {
+  const HabitModel model = HabitModel::mine(fixture());
+  const HourStats& wd = model.stats(DayKind::kWeekday);
+  // One of two apps active at hour 3 -> Eq. 3 value 0.5 per day.
+  EXPECT_DOUBLE_EQ(wd.pr_net[3], 0.5);
+  EXPECT_DOUBLE_EQ(wd.mean_net_count[3], 1.0);
+  EXPECT_DOUBLE_EQ(wd.mean_net_bytes[3], 110.0);
+  EXPECT_DOUBLE_EQ(wd.pr_net[9], 0.0);  // screen-on traffic excluded
+}
+
+TEST(HabitModel, PrActiveAtUsesDayRegime) {
+  const HabitModel model = HabitModel::mine(fixture());
+  EXPECT_DOUBLE_EQ(model.pr_active_at(hour_start(0, 9) + 5), 1.0);
+  EXPECT_DOUBLE_EQ(model.pr_active_at(hour_start(5, 9) + 5), 0.0);
+  EXPECT_DOUBLE_EQ(model.pr_active_at(hour_start(5, 11) + 5), 1.0);
+  EXPECT_THROW(model.pr_active_at(-1), Error);
+  EXPECT_THROW(model.pr_active(DayKind::kWeekday, 24), Error);
+}
+
+TEST(SlotPredictor, ThresholdSelectsSlots) {
+  const HabitModel model = HabitModel::mine(fixture());
+  PredictorConfig cfg;
+  cfg.delta_weekday = 0.5;
+  cfg.delta_weekend = 0.5;
+  const SlotPredictor pred(model, cfg);
+
+  const DayPrediction day0 = pred.predict_day(0);  // weekday
+  // Hours 9 (Pr=1) and 20 (Pr=0.6) exceed delta 0.5.
+  EXPECT_TRUE(day0.active_slots.contains(hour_start(0, 9) + 1));
+  EXPECT_TRUE(day0.active_slots.contains(hour_start(0, 20) + 1));
+  EXPECT_FALSE(day0.active_slots.contains(hour_start(0, 11) + 1));
+  // Hour 3 has screen-off traffic and is outside U -> net slot.
+  EXPECT_TRUE(day0.net_slots.contains(hour_start(0, 3) + 1));
+  EXPECT_FALSE(day0.net_slots.contains(hour_start(0, 9) + 1));
+}
+
+TEST(SlotPredictor, HigherDeltaShrinksSlots) {
+  const HabitModel model = HabitModel::mine(fixture());
+  PredictorConfig strict;
+  strict.delta_weekday = 0.8;  // excludes hour 20 (Pr = 0.6)
+  strict.delta_weekend = 0.8;
+  const SlotPredictor pred(model, strict);
+  const DayPrediction day0 = pred.predict_day(0);
+  EXPECT_TRUE(day0.active_slots.contains(hour_start(0, 9) + 1));
+  EXPECT_FALSE(day0.active_slots.contains(hour_start(0, 20) + 1));
+}
+
+TEST(SlotPredictor, WeekdayWeekendDeltasIndependent) {
+  const HabitModel model = HabitModel::mine(fixture());
+  PredictorConfig cfg;
+  cfg.delta_weekday = 0.2;
+  cfg.delta_weekend = 0.1;
+  const SlotPredictor pred(model, cfg);
+  EXPECT_DOUBLE_EQ(pred.delta_for_day(0), 0.2);
+  EXPECT_DOUBLE_EQ(pred.delta_for_day(5), 0.1);
+}
+
+TEST(SlotPredictor, AdjacentHoursMergeIntoOneSlot) {
+  UserTrace t = fixture();
+  // Add usage at hour 10 every weekday so hours 9 and 10 both qualify.
+  for (int day = 0; day < 5; ++day) {
+    const TimeMs at = hour_start(day, 10) + kMsPerMinute;
+    t.sessions.push_back({at, at + 5000});
+    t.usages.push_back({0, at, 1000});
+  }
+  std::sort(t.sessions.begin(), t.sessions.end(),
+            [](const ScreenSession& a, const ScreenSession& b) {
+              return a.begin < b.begin;
+            });
+  std::sort(t.usages.begin(), t.usages.end(),
+            [](const AppUsage& a, const AppUsage& b) {
+              return a.time < b.time;
+            });
+  const SlotPredictor pred(HabitModel::mine(t), PredictorConfig{});
+  const DayPrediction day0 = pred.predict_day(0);
+  // Hours 9 and 10 merge into a single 2-hour slot.
+  bool found = false;
+  for (const Interval& iv : day0.active_slots.intervals()) {
+    if (iv.begin == hour_start(0, 9) && iv.end == hour_start(0, 11)) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SlotPredictor, ActiveProbabilityIntegral) {
+  const HabitModel model = HabitModel::mine(fixture());
+  const SlotPredictor pred(model, PredictorConfig{});
+  // Over hour 9 of a weekday (Pr = 1): integral = 3600 prob-seconds.
+  EXPECT_NEAR(pred.active_probability_integral(hour_start(0, 9),
+                                               hour_start(0, 10)),
+              3600.0, 1e-9);
+  // Over hour 20 (Pr = 0.6): 2160.
+  EXPECT_NEAR(pred.active_probability_integral(hour_start(0, 20),
+                                               hour_start(0, 21)),
+              2160.0, 1e-9);
+  // Split across two hours uses per-hour values.
+  const double mixed = pred.active_probability_integral(
+      hour_start(0, 9) + 30 * kMsPerMinute,
+      hour_start(0, 10) + 30 * kMsPerMinute);
+  EXPECT_NEAR(mixed, 1800.0 * 1.0 + 1800.0 * 0.0, 1e-9);
+  // Degenerate and invalid windows.
+  EXPECT_DOUBLE_EQ(pred.active_probability_integral(100, 100), 0.0);
+  EXPECT_THROW(pred.active_probability_integral(100, 50), Error);
+}
+
+TEST(SlotPredictor, RejectsBadDeltas) {
+  const HabitModel model = HabitModel::mine(fixture());
+  PredictorConfig bad;
+  bad.delta_weekday = 1.5;
+  EXPECT_THROW(SlotPredictor(model, bad), Error);
+  bad.delta_weekday = -0.1;
+  EXPECT_THROW(SlotPredictor(model, bad), Error);
+}
+
+TEST(PredictionAccuracy, ExactOnFixture) {
+  const HabitModel model = HabitModel::mine(fixture());
+  PredictorConfig cfg;
+  cfg.delta_weekday = 0.5;
+  cfg.delta_weekend = 0.5;
+  const SlotPredictor pred(model, cfg);
+  // Evaluate on the training trace itself: weekday usages at hours 9
+  // (5x) and 20 (3x) are inside U; weekend usages at hour 11 (2x) are
+  // inside weekend U. All 10 usages covered.
+  EXPECT_DOUBLE_EQ(prediction_accuracy(pred, fixture()), 1.0);
+
+  PredictorConfig strict;
+  strict.delta_weekday = 0.8;
+  strict.delta_weekend = 0.8;
+  const SlotPredictor pred2(model, strict);
+  // Hour-20 usages (3 of 10) now fall outside.
+  EXPECT_DOUBLE_EQ(prediction_accuracy(pred2, fixture()), 0.7);
+}
+
+TEST(PredictionAccuracy, EmptyEvalIsPerfect) {
+  const SlotPredictor pred(HabitModel::mine(fixture()),
+                           PredictorConfig{});
+  UserTrace empty = fixture();
+  empty.usages.clear();
+  EXPECT_DOUBLE_EQ(prediction_accuracy(pred, empty), 1.0);
+}
+
+TEST(SpecialApps, DetectionRequiresUsageAndNetwork) {
+  const SpecialApps special = SpecialApps::detect(fixture());
+  EXPECT_TRUE(special.is_special(0));   // used + networked
+  EXPECT_FALSE(special.is_special(1));  // used, never networked
+  EXPECT_EQ(special.count(), 1u);
+}
+
+TEST(SpecialApps, UnseenAppsDefaultSpecial) {
+  const SpecialApps special = SpecialApps::detect(fixture());
+  EXPECT_TRUE(special.is_special(99));  // newly installed
+  EXPECT_FALSE(special.is_special(-1));
+}
+
+// Property: raising delta never grows the active slot set.
+class DeltaMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(DeltaMonotonicity, ActiveSlotsShrinkWithDelta) {
+  const auto user = synth::make_user(synth::Archetype::kStudent, 2);
+  const UserTrace trace = synth::generate_trace(user, 14, 17);
+  const HabitModel model = HabitModel::mine(trace);
+
+  const double delta = GetParam();
+  PredictorConfig lo_cfg, hi_cfg;
+  lo_cfg.delta_weekday = lo_cfg.delta_weekend = delta;
+  hi_cfg.delta_weekday = hi_cfg.delta_weekend = delta + 0.15;
+  const SlotPredictor lo(model, lo_cfg);
+  const SlotPredictor hi(model, hi_cfg);
+  for (int day = 0; day < 7; ++day) {
+    const DurationMs lo_len =
+        lo.predict_day(day).active_slots.total_length();
+    const DurationMs hi_len =
+        hi.predict_day(day).active_slots.total_length();
+    EXPECT_GE(lo_len, hi_len) << "day " << day << " delta " << delta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DeltaGrid, DeltaMonotonicity,
+                         ::testing::Values(0.0, 0.1, 0.2, 0.3, 0.4, 0.5,
+                                           0.6, 0.7));
+
+}  // namespace
+}  // namespace netmaster::mining

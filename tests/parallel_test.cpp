@@ -1,0 +1,71 @@
+// Tests for the parallel_for utility.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.hpp"
+
+namespace netmaster {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleThreadFallback) {
+  std::vector<int> order;
+  parallel_for(5, [&](std::size_t i) { order.push_back(int(i)); },
+               /*max_threads=*/1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, ResultsIndependentOfThreadCount) {
+  auto compute = [](unsigned threads) {
+    std::vector<double> out(64);
+    parallel_for(out.size(),
+                 [&](std::size_t i) { out[i] = static_cast<double>(i * i); },
+                 threads);
+    return out;
+  };
+  EXPECT_EQ(compute(1), compute(4));
+  EXPECT_EQ(compute(2), compute(8));
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(
+      parallel_for(100,
+                   [](std::size_t i) {
+                     if (i == 37) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, SequentialExceptionPreservesEarlierWork) {
+  std::atomic<int> done{0};
+  try {
+    parallel_for(
+        100,
+        [&](std::size_t i) {
+          if (i == 50) throw std::runtime_error("boom");
+          ++done;
+        },
+        /*max_threads=*/1);
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(done.load(), 50);
+}
+
+}  // namespace
+}  // namespace netmaster

@@ -1,0 +1,95 @@
+// Tests for the correlation matrices behind Figs. 3–4.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "mining/pearson.hpp"
+#include "synth/generator.hpp"
+#include "synth/presets.hpp"
+
+namespace netmaster::mining {
+namespace {
+
+UserTrace trace_with_usages(UserId id, std::vector<int> hours_per_day,
+                            int days) {
+  UserTrace t;
+  t.user = id;
+  t.num_days = days;
+  t.app_names = {"a"};
+  for (int day = 0; day < days; ++day) {
+    for (int hour : hours_per_day) {
+      const TimeMs at = hour_start(day, hour) + kMsPerMinute;
+      t.sessions.push_back({at, at + 5000});
+      t.usages.push_back({0, at, 1000});
+    }
+  }
+  return t;
+}
+
+TEST(CrossUser, IdenticalPatternsCorrelatePerfectly) {
+  TraceSet set;
+  set.users.push_back(trace_with_usages(1, {9, 12, 20}, 3));
+  set.users.push_back(trace_with_usages(2, {9, 12, 20}, 3));
+  const CorrelationMatrix m = cross_user_matrix(set);
+  EXPECT_EQ(m.n, 2u);
+  EXPECT_NEAR(m.at(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(m.off_diagonal_mean(), 1.0, 1e-12);
+}
+
+TEST(CrossUser, MatrixIsSymmetricWithUnitDiagonal) {
+  TraceSet set;
+  set.users.push_back(trace_with_usages(1, {9, 12}, 3));
+  set.users.push_back(trace_with_usages(2, {2, 22}, 3));
+  set.users.push_back(trace_with_usages(3, {9, 22}, 3));
+  const CorrelationMatrix m = cross_user_matrix(set);
+  for (std::size_t i = 0; i < m.n; ++i) {
+    EXPECT_DOUBLE_EQ(m.at(i, i), 1.0);
+    for (std::size_t j = 0; j < m.n; ++j) {
+      EXPECT_DOUBLE_EQ(m.at(i, j), m.at(j, i));
+      EXPECT_GE(m.at(i, j), -1.0);
+      EXPECT_LE(m.at(i, j), 1.0);
+    }
+  }
+}
+
+TEST(CrossUser, DisjointHoursAnticorrelate) {
+  TraceSet set;
+  set.users.push_back(trace_with_usages(1, {9}, 3));
+  set.users.push_back(trace_with_usages(2, {21}, 3));
+  const CorrelationMatrix m = cross_user_matrix(set);
+  EXPECT_LT(m.at(0, 1), 0.0);
+}
+
+TEST(CrossDay, IdenticalDaysCorrelatePerfectly) {
+  const UserTrace t = trace_with_usages(1, {9, 12, 20}, 5);
+  const CorrelationMatrix m = cross_day_matrix(t, 5);
+  EXPECT_NEAR(m.off_diagonal_mean(), 1.0, 1e-12);
+}
+
+TEST(CrossDay, RangeValidation) {
+  const UserTrace t = trace_with_usages(1, {9}, 3);
+  EXPECT_THROW(cross_day_matrix(t, 0), Error);
+  EXPECT_THROW(cross_day_matrix(t, 4), Error);
+  EXPECT_NO_THROW(cross_day_matrix(t, 3));
+}
+
+TEST(CrossDay, OffDiagonalMeanOfTrivialMatrix) {
+  const UserTrace t = trace_with_usages(1, {9}, 1);
+  const CorrelationMatrix m = cross_day_matrix(t, 1);
+  EXPECT_DOUBLE_EQ(m.off_diagonal_mean(), 0.0);  // n < 2
+}
+
+TEST(StudyPopulation, PaperShapeHolds) {
+  // Regression guard for the Figs. 3–4 calibration: cross-user mean
+  // low, the Fig. 4 subject (user 4, retiree) high.
+  const auto profiles = synth::study_population();
+  const TraceSet traces = synth::generate_population(profiles, 21, 42);
+  const double cross = cross_user_matrix(traces).off_diagonal_mean();
+  EXPECT_LT(cross, 0.25);
+  const double user4 =
+      cross_day_matrix(traces.users[3], 8).off_diagonal_mean();
+  EXPECT_GT(user4, 0.6);
+  EXPECT_GT(user4, cross + 0.3);
+}
+
+}  // namespace
+}  // namespace netmaster::mining

@@ -1,0 +1,130 @@
+// Cross-policy property suite over randomized synthetic workloads:
+// invariants every policy must satisfy regardless of seed, archetype,
+// or parameter choice.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "policy/baseline.hpp"
+#include "policy/batch.hpp"
+#include "policy/delay.hpp"
+#include "policy/delay_batch.hpp"
+#include "policy/netmaster.hpp"
+#include "policy/oracle.hpp"
+#include "sim/accounting.hpp"
+#include "synth/generator.hpp"
+#include "synth/presets.hpp"
+
+namespace netmaster::policy {
+namespace {
+
+struct Case {
+  synth::Archetype archetype;
+  std::uint64_t seed;
+};
+
+class PolicyProperties : public ::testing::TestWithParam<Case> {
+ protected:
+  void SetUp() override {
+    const auto profile = synth::make_user(GetParam().archetype, 1);
+    const UserTrace full =
+        synth::generate_trace(profile, 14, GetParam().seed);
+    training_ = full.slice_days(0, 7);
+    eval_ = full.slice_days(7, 7);
+    policies_.push_back(std::make_unique<BaselinePolicy>());
+    policies_.push_back(std::make_unique<DelayPolicy>(seconds(45)));
+    policies_.push_back(std::make_unique<BatchPolicy>(4));
+    policies_.push_back(std::make_unique<DelayBatchPolicy>(seconds(45)));
+    policies_.push_back(std::make_unique<OraclePolicy>());
+    policies_.push_back(
+        std::make_unique<NetMasterPolicy>(training_, NetMasterConfig{}));
+  }
+
+  UserTrace training_;
+  UserTrace eval_;
+  std::vector<std::unique_ptr<Policy>> policies_;
+};
+
+TEST_P(PolicyProperties, EveryPolicyAccountsCleanly) {
+  for (const auto& p : policies_) {
+    EXPECT_NO_THROW(sim::account(eval_, p->run(eval_),
+                                 RadioPowerParams::wcdma()))
+        << p->name();
+  }
+}
+
+TEST_P(PolicyProperties, BytesAreConserved) {
+  const RadioPowerParams radio = RadioPowerParams::wcdma();
+  const sim::SimReport base =
+      sim::account(eval_, BaselinePolicy().run(eval_), radio);
+  for (const auto& p : policies_) {
+    const sim::SimReport rep = sim::account(eval_, p->run(eval_), radio);
+    EXPECT_EQ(rep.bytes_down, base.bytes_down) << p->name();
+    EXPECT_EQ(rep.bytes_up, base.bytes_up) << p->name();
+  }
+}
+
+TEST_P(PolicyProperties, NoPolicyWastesMoreThanBaseline) {
+  // Every optimization policy must do no worse than stock (they only
+  // merge/shift deferrable traffic and possibly cut tails).
+  const RadioPowerParams radio = RadioPowerParams::wcdma();
+  const double base =
+      sim::account(eval_, BaselinePolicy().run(eval_), radio).energy_j;
+  for (const auto& p : policies_) {
+    const double e = sim::account(eval_, p->run(eval_), radio).energy_j;
+    EXPECT_LE(e, base * 1.0001) << p->name();
+  }
+}
+
+TEST_P(PolicyProperties, UserInitiatedTrafficNeverDeferred) {
+  for (const auto& p : policies_) {
+    const sim::PolicyOutcome o = p->run(eval_);
+    for (const sim::ExecutedTransfer& t : o.transfers) {
+      const NetworkActivity& act = eval_.activities[t.activity_index];
+      if (act.user_initiated) {
+        EXPECT_EQ(t.start, act.start) << p->name();
+      }
+    }
+  }
+}
+
+TEST_P(PolicyProperties, DeferralLatenciesNonNegative) {
+  for (const auto& p : policies_) {
+    const sim::PolicyOutcome o = p->run(eval_);
+    for (double lat : o.deferral_latency_s) {
+      EXPECT_GE(lat, 0.0) << p->name();
+    }
+  }
+}
+
+TEST_P(PolicyProperties, FixedIntervalPoliciesAreCausal) {
+  // Delay/batch/delay&batch never run anything before it arrived
+  // (only the oracle and NetMaster's planned prefetch may).
+  for (const auto& p : policies_) {
+    const std::string name = p->name();
+    if (name.rfind("delay", 0) != 0 && name.rfind("batch", 0) != 0) {
+      continue;
+    }
+    const sim::PolicyOutcome o = p->run(eval_);
+    for (const sim::ExecutedTransfer& t : o.transfers) {
+      EXPECT_GE(t.start, eval_.activities[t.activity_index].start)
+          << name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, PolicyProperties,
+    ::testing::Values(Case{synth::Archetype::kOfficeWorker, 1},
+                      Case{synth::Archetype::kStudent, 2},
+                      Case{synth::Archetype::kNightOwl, 3},
+                      Case{synth::Archetype::kCommuter, 4},
+                      Case{synth::Archetype::kRetiree, 5},
+                      Case{synth::Archetype::kHeavyMessenger, 6},
+                      Case{synth::Archetype::kWeekendWarrior, 7},
+                      Case{synth::Archetype::kLightUser, 8},
+                      Case{synth::Archetype::kStudent, 1001},
+                      Case{synth::Archetype::kOfficeWorker, 777}));
+
+}  // namespace
+}  // namespace netmaster::policy

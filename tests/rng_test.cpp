@@ -1,0 +1,148 @@
+// Tests for the deterministic RNG layer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace netmaster {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-5.0, 5.0);
+    EXPECT_GE(u, -5.0);
+    EXPECT_LT(u, 5.0);
+  }
+  EXPECT_THROW(rng.uniform(2.0, 1.0), Error);
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 3000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+  EXPECT_EQ(rng.uniform_int(4, 4), 4);
+  EXPECT_THROW(rng.uniform_int(5, 4), Error);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(11);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_FALSE(rng.bernoulli(-3.0));
+  EXPECT_TRUE(rng.bernoulli(2.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ExponentialMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.exponential(5.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000.0, 5.0, 0.25);
+  EXPECT_THROW(rng.exponential(0.0), Error);
+  EXPECT_THROW(rng.exponential(-1.0), Error);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  {
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      const double v = rng.normal(10.0, 2.0);
+      sum += v;
+      sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.1);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+  }
+  EXPECT_THROW(rng.normal(0.0, -1.0), Error);
+}
+
+TEST(Rng, PoissonMoments) {
+  Rng rng(19);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const int v = rng.poisson(3.5);
+    EXPECT_GE(v, 0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000.0, 3.5, 0.15);
+  // Large-mean normal approximation path.
+  double big = 0.0;
+  for (int i = 0; i < 5000; ++i) big += rng.poisson(200.0);
+  EXPECT_NEAR(big / 5000.0, 200.0, 2.0);
+  EXPECT_THROW(rng.poisson(-1.0), Error);
+}
+
+TEST(Rng, LognormalPositive) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.lognormal(2.0, 0.5), 0.0);
+  }
+}
+
+TEST(DeriveSeed, IndependentStreams) {
+  // Derived seeds for nearby stream ids should produce uncorrelated
+  // generators.
+  const auto s0 = derive_seed(42, 0);
+  const auto s1 = derive_seed(42, 1);
+  EXPECT_NE(s0, s1);
+  Rng a(s0), b(s1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(DeriveSeed, DeterministicAndSeedSensitive) {
+  EXPECT_EQ(derive_seed(7, 3), derive_seed(7, 3));
+  EXPECT_NE(derive_seed(7, 3), derive_seed(8, 3));
+}
+
+}  // namespace
+}  // namespace netmaster

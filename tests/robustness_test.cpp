@@ -1,0 +1,137 @@
+// Robustness suite: failure injection on the trace parser (random
+// mutations must throw cleanly, never crash or accept garbage
+// silently), analytic checks on the monitoring timers, and multi-seed
+// stability of the calibrated headline statistics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "service/monitoring.hpp"
+#include "service/record_store.hpp"
+#include "synth/generator.hpp"
+#include "synth/presets.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace netmaster {
+namespace {
+
+// ---- Parser fuzzing. -------------------------------------------------
+
+std::string serialized_sample() {
+  const UserTrace trace = synth::generate_trace(
+      synth::make_user(synth::Archetype::kLightUser, 1), 2, 5);
+  std::stringstream ss;
+  write_trace(ss, trace);
+  return ss.str();
+}
+
+class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzz, MutatedInputThrowsOrParses) {
+  // Random single-byte mutations of a valid trace file: the parser must
+  // either produce a *valid* trace or throw netmaster::Error — never
+  // crash, hang, or return something that fails validate().
+  const std::string original = serialized_sample();
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string mutated = original;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(mutated.size()) - 1));
+    mutated[pos] = static_cast<char>(rng.uniform_int(32, 126));
+    std::stringstream ss(mutated);
+    try {
+      const UserTrace parsed = read_trace(ss);
+      EXPECT_NO_THROW(parsed.validate());
+    } catch (const Error&) {
+      // Expected for most mutations.
+    }
+  }
+}
+
+TEST_P(ParserFuzz, TruncatedInputThrowsOrParses) {
+  const std::string original = serialized_sample();
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto cut = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(original.size()) - 1));
+    std::stringstream ss(original.substr(0, cut));
+    try {
+      const UserTrace parsed = read_trace(ss);
+      EXPECT_NO_THROW(parsed.validate());
+    } catch (const Error&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(ParserFuzz, GarbageInputsThrow) {
+  for (const char* garbage :
+       {"\0\0\0", "user", "user,,days,", "user,1,days,1\nnet,,,,,,,",
+        "user,1,days,-5", "user,99999999999999999999,days,1"}) {
+    std::stringstream ss{std::string(garbage)};
+    EXPECT_THROW(read_trace(ss), Error) << '"' << garbage << '"';
+  }
+}
+
+// ---- Monitoring timer math. ------------------------------------------
+
+TEST(MonitoringTimers, SampleCountMatchesAnalyticBound) {
+  // With no sessions at all, the 30 s screen-off timer fires exactly
+  // horizon / 30 s times (the last partial interval still samples).
+  UserTrace idle;
+  idle.user = 1;
+  idle.num_days = 1;
+  idle.app_names = {"a"};
+  service::RecordStore store;
+  service::MonitoringComponent monitor(store);
+  monitor.observe(idle);
+  EXPECT_EQ(monitor.sample_records(),
+            static_cast<std::size_t>(kMsPerDay / (30 * kMsPerSecond)));
+}
+
+TEST(MonitoringTimers, ScreenOnSamplesFaster) {
+  // One hour fully screen-on inside a one-day trace: the 1 s timer
+  // contributes ~3600 samples on top of the 30 s background timer.
+  UserTrace t;
+  t.user = 1;
+  t.num_days = 1;
+  t.app_names = {"a"};
+  t.sessions = {{hours(10), hours(11)}};
+  service::RecordStore store;
+  service::MonitoringComponent monitor(store);
+  monitor.observe(t);
+  const std::size_t off_only =
+      static_cast<std::size_t>((kMsPerDay - kMsPerHour) /
+                               (30 * kMsPerSecond));
+  EXPECT_GT(monitor.sample_records(), off_only + 3500);
+  EXPECT_LT(monitor.sample_records(), off_only + 3700);
+}
+
+// ---- Multi-seed stability of the calibration. ------------------------
+
+TEST(CalibrationStability, HeadlineStatsHoldAcrossSeeds) {
+  // The §III statistics must stay in their paper bands for any seed —
+  // the calibration is structural, not a lucky draw.
+  for (std::uint64_t seed : {1ull, 42ull, 999ull, 31337ull}) {
+    const TraceSet traces = synth::generate_population(
+        synth::study_population(), 14, seed);
+    double off = 0.0, util = 0.0;
+    for (const UserTrace& t : traces.users) {
+      off += traffic_split(t).screen_off_activity_fraction();
+      util += screen_utilization(t).radio_utilization;
+    }
+    off /= traces.users.size();
+    util /= traces.users.size();
+    EXPECT_GT(off, 0.30) << "seed " << seed;
+    EXPECT_LT(off, 0.60) << "seed " << seed;
+    EXPECT_GT(util, 0.25) << "seed " << seed;
+    EXPECT_LT(util, 0.60) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace netmaster

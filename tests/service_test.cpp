@@ -1,0 +1,194 @@
+// Tests for the §V middleware layer: record store, monitoring, mining
+// and scheduling components, and the end-to-end service facade.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "policy/netmaster.hpp"
+#include "service/components.hpp"
+#include "service/monitoring.hpp"
+#include "service/record_store.hpp"
+#include "synth/generator.hpp"
+#include "synth/presets.hpp"
+
+namespace netmaster::service {
+namespace {
+
+UserTrace sample_trace() {
+  return synth::generate_trace(
+      synth::make_user(synth::Archetype::kOfficeWorker, 1), 7, 42);
+}
+
+TEST(RecordStore, AppendAndRead) {
+  RecordStore store;
+  store.append({RecordKind::kScreenOn, 100, -1, 0, 0, 0, false, false});
+  store.append({RecordKind::kScreenOff, 200, -1, 0, 0, 0, false, false});
+  EXPECT_EQ(store.size(), 2u);
+  const auto records = store.all_records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].kind, RecordKind::kScreenOn);
+  EXPECT_EQ(records[1].time, 200);
+}
+
+TEST(RecordStore, CacheFlushesWhenFull) {
+  // A tiny cache (room for exactly 2 records) flushes on the 2nd
+  // append.
+  RecordStore store(2 * sizeof(Record));
+  EXPECT_EQ(store.flush_count(), 0u);
+  store.append({RecordKind::kScreenOn, 1, -1, 0, 0, 0, false, false});
+  EXPECT_EQ(store.cached(), 1u);
+  store.append({RecordKind::kScreenOff, 2, -1, 0, 0, 0, false, false});
+  EXPECT_EQ(store.cached(), 0u);
+  EXPECT_EQ(store.flush_count(), 1u);
+  EXPECT_EQ(store.bytes_flushed(), 2 * sizeof(Record));
+  // Reads still see everything.
+  EXPECT_EQ(store.all_records().size(), 2u);
+}
+
+TEST(RecordStore, ExplicitFlushAndIdempotence) {
+  RecordStore store;
+  store.append({RecordKind::kScreenOn, 1, -1, 0, 0, 0, false, false});
+  store.flush();
+  EXPECT_EQ(store.flush_count(), 1u);
+  store.flush();  // empty cache: no-op
+  EXPECT_EQ(store.flush_count(), 1u);
+}
+
+TEST(RecordStore, ToTraceReconstructsEvents) {
+  const UserTrace original = sample_trace();
+  RecordStore store;
+  MonitoringComponent monitor(store);
+  monitor.observe(original);
+  const UserTrace rebuilt =
+      store.to_trace(original.user, original.num_days,
+                     original.app_names);
+  EXPECT_EQ(rebuilt.sessions, original.sessions);
+  EXPECT_EQ(rebuilt.usages, original.usages);
+  EXPECT_EQ(rebuilt.activities, original.activities);
+}
+
+TEST(Monitoring, HybridTriggerRecordCounts) {
+  const UserTrace t = sample_trace();
+  RecordStore store;
+  MonitoringComponent monitor(store);
+  const std::size_t emitted = monitor.observe(t);
+  EXPECT_EQ(emitted, store.size());
+  // Event records: 2 per session + usages + activities.
+  EXPECT_EQ(monitor.event_records(),
+            2 * t.sessions.size() + t.usages.size() +
+                t.activities.size());
+  // Time-triggered samples exist and dominate during screen-off (30 s
+  // period over 7 days -> thousands).
+  EXPECT_GT(monitor.sample_records(), 10'000u);
+}
+
+TEST(Monitoring, SamplePeriodValidation) {
+  RecordStore store;
+  MonitoringConfig bad;
+  bad.screen_on_sample_ms = 0;
+  EXPECT_THROW(MonitoringComponent(store, bad), Error);
+}
+
+TEST(MiningComponent, RetrainBroadcasts) {
+  const UserTrace t = sample_trace();
+  RecordStore store;
+  MonitoringComponent monitor(store);
+  monitor.observe(t);
+
+  MiningComponent mining(store);
+  int broadcasts = 0;
+  mining.subscribe([&](const MiningComponent::Broadcast& b) {
+    ++broadcasts;
+    EXPECT_GT(b.special.count(), 0u);
+  });
+  EXPECT_FALSE(mining.latest().has_value());
+  mining.retrain(t.user, t.num_days, t.app_names);
+  EXPECT_EQ(broadcasts, 1);
+  ASSERT_TRUE(mining.latest().has_value());
+  EXPECT_THROW(mining.subscribe(nullptr), Error);
+}
+
+TEST(SchedulingComponent, RadioCommands) {
+  const UserTrace t = sample_trace();
+  RecordStore store;
+  MonitoringComponent monitor(store);
+  monitor.observe(t);
+  MiningComponent mining(store);
+
+  SchedulingComponent sched(policy::NetMasterConfig{});
+  mining.subscribe([&](const MiningComponent::Broadcast& b) {
+    sched.on_broadcast(b);
+  });
+  EXPECT_FALSE(sched.has_model());
+  mining.retrain(t.user, t.num_days, t.app_names);
+  ASSERT_TRUE(sched.has_model());
+
+  // Screen-off outside active slots: radio down; duty wake with
+  // traffic: radio up.
+  const TimeMs night = hour_start(3, 3);
+  EXPECT_EQ(sched.on_screen_off(night), RadioCommand::kDisable);
+  EXPECT_EQ(sched.on_duty_wake(night + 30'000, true),
+            RadioCommand::kEnable);
+  EXPECT_GE(sched.radio_switches(), 1u);
+}
+
+TEST(SchedulingComponent, SpecialAppGatesScreenOnRadio) {
+  const UserTrace t = sample_trace();
+  RecordStore store;
+  MonitoringComponent monitor(store);
+  monitor.observe(t);
+  MiningComponent mining(store);
+  SchedulingComponent sched(policy::NetMasterConfig{});
+  mining.subscribe([&](const MiningComponent::Broadcast& b) {
+    sched.on_broadcast(b);
+  });
+  mining.retrain(t.user, t.num_days, t.app_names);
+
+  const mining::SpecialApps special = mining::SpecialApps::detect(t);
+  AppId non_special = -1;
+  for (AppId a = 0; a < static_cast<AppId>(t.app_names.size()); ++a) {
+    if (!special.is_special(a)) {
+      non_special = a;
+      break;
+    }
+  }
+  ASSERT_GE(non_special, 0);
+  // At night (outside predicted slots) a non-special foreground app
+  // does not power the radio; a special one does.
+  const TimeMs night = hour_start(3, 3);
+  EXPECT_EQ(sched.on_screen_on(night, non_special),
+            RadioCommand::kDisable);
+  EXPECT_EQ(sched.on_screen_on(night, 0), RadioCommand::kEnable);
+}
+
+TEST(SchedulingComponent, DecideRequiresModel) {
+  SchedulingComponent sched(policy::NetMasterConfig{});
+  EXPECT_THROW(sched.decide({}, {}), Error);
+}
+
+TEST(NetMasterService, EndToEndMatchesPolicy) {
+  const auto profile = synth::make_user(synth::Archetype::kStudent, 2);
+  const UserTrace full = synth::generate_trace(profile, 21, 7);
+  const UserTrace training = full.slice_days(0, 14);
+  const UserTrace eval = full.slice_days(14, 7);
+
+  NetMasterService service;
+  service.train(training);
+  const sim::SimReport via_service = service.evaluate(eval);
+
+  const policy::NetMasterPolicy policy(training,
+                                       policy::NetMasterConfig{});
+  const sim::SimReport direct = sim::account(
+      eval, policy.run(eval), policy::NetMasterConfig{}.profit.radio);
+
+  EXPECT_DOUBLE_EQ(via_service.energy_j, direct.energy_j);
+  EXPECT_EQ(via_service.radio_on_ms, direct.radio_on_ms);
+  EXPECT_EQ(via_service.interrupts, direct.interrupts);
+}
+
+TEST(NetMasterService, EvaluateBeforeTrainThrows) {
+  NetMasterService service;
+  EXPECT_THROW(service.evaluate(sample_trace()), Error);
+}
+
+}  // namespace
+}  // namespace netmaster::service

@@ -1,0 +1,149 @@
+// Unit tests for the statistics toolkit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace netmaster {
+namespace {
+
+TEST(StreamingStats, EmptyThrows) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_THROW(s.mean(), Error);
+  EXPECT_THROW(s.min(), Error);
+  EXPECT_THROW(s.max(), Error);
+}
+
+TEST(StreamingStats, SingleValue) {
+  StreamingStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 42.0);
+}
+
+TEST(StreamingStats, KnownSample) {
+  StreamingStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(StreamingStats, NegativeValues) {
+  StreamingStats s;
+  s.add(-5.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -5.0);
+}
+
+TEST(Percentile, Basics) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.125), 1.5);  // interpolated
+}
+
+TEST(Percentile, SingleElementAndErrors) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.9), 7.0);
+  EXPECT_THROW(percentile({}, 0.5), Error);
+  EXPECT_THROW(percentile({1.0}, 1.5), Error);
+  EXPECT_THROW(percentile({1.0}, -0.1), Error);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAnticorrelation) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, ZeroVarianceReturnsZero) {
+  const std::vector<double> x{3, 3, 3};
+  const std::vector<double> y{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(y, x), 0.0);
+}
+
+TEST(Pearson, Errors) {
+  EXPECT_THROW(pearson({1.0}, {1.0, 2.0}), Error);
+  EXPECT_THROW(pearson({}, {}), Error);
+}
+
+TEST(Pearson, BoundedInUnitInterval) {
+  // Arbitrary vectors stay in [-1, 1].
+  const std::vector<double> x{0.3, 9.1, 2.2, 7.7, 5.0, 0.1};
+  const std::vector<double> y{4.4, 1.0, 8.8, 2.1, 9.9, 3.3};
+  const double r = pearson(x, y);
+  EXPECT_GE(r, -1.0);
+  EXPECT_LE(r, 1.0);
+}
+
+TEST(EmpiricalCdf, DistinctValues) {
+  const auto cdf = empirical_cdf({3.0, 1.0, 2.0});
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+  EXPECT_NEAR(cdf[0].fraction, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cdf[2].value, 3.0);
+  EXPECT_DOUBLE_EQ(cdf[2].fraction, 1.0);
+}
+
+TEST(EmpiricalCdf, DuplicatesCollapse) {
+  const auto cdf = empirical_cdf({1.0, 1.0, 2.0, 2.0});
+  ASSERT_EQ(cdf.size(), 2u);
+  EXPECT_DOUBLE_EQ(cdf[0].fraction, 0.5);
+  EXPECT_DOUBLE_EQ(cdf[1].fraction, 1.0);
+}
+
+TEST(EmpiricalCdf, EmptyInput) {
+  EXPECT_TRUE(empirical_cdf({}).empty());
+}
+
+TEST(CdfQuantile, Lookup) {
+  const auto cdf = empirical_cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf_quantile(cdf, 0.25), 1.0);
+  EXPECT_DOUBLE_EQ(cdf_quantile(cdf, 0.26), 2.0);
+  EXPECT_DOUBLE_EQ(cdf_quantile(cdf, 1.0), 4.0);
+  EXPECT_THROW(cdf_quantile({}, 0.5), Error);
+}
+
+TEST(Histogram, BinningAndSaturation) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.9);   // bin 4
+  h.add(-3.0);  // saturates into bin 0
+  h.add(55.0);  // saturates into bin 4
+  h.add(5.0);   // bin 2
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.fraction(2), 0.2);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+}
+
+TEST(Histogram, Errors) {
+  EXPECT_THROW(Histogram(5.0, 5.0, 3), Error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.count(2), Error);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);  // empty histogram
+}
+
+}  // namespace
+}  // namespace netmaster

@@ -1,0 +1,61 @@
+// Tests for the time model.
+#include <gtest/gtest.h>
+
+#include "common/time.hpp"
+
+namespace netmaster {
+namespace {
+
+TEST(Time, UnitConversions) {
+  EXPECT_EQ(seconds(1.5), 1500);
+  EXPECT_EQ(minutes(2), 120'000);
+  EXPECT_EQ(hours(1), 3'600'000);
+  EXPECT_DOUBLE_EQ(to_seconds(2500), 2.5);
+  EXPECT_EQ(kMsPerDay, 24 * kMsPerHour);
+}
+
+TEST(Time, DayAndHourOf) {
+  EXPECT_EQ(day_of(0), 0);
+  EXPECT_EQ(day_of(kMsPerDay - 1), 0);
+  EXPECT_EQ(day_of(kMsPerDay), 1);
+  EXPECT_EQ(hour_of(0), 0);
+  EXPECT_EQ(hour_of(kMsPerHour), 1);
+  EXPECT_EQ(hour_of(kMsPerDay + 5 * kMsPerHour + 7), 5);
+  EXPECT_EQ(hour_of(kMsPerDay - 1), 23);
+}
+
+TEST(Time, TimeOfDay) {
+  EXPECT_EQ(time_of_day(3 * kMsPerDay + 123), 123);
+  EXPECT_EQ(time_of_day(42), 42);
+}
+
+TEST(Time, DayAndHourStart) {
+  EXPECT_EQ(day_start(0), 0);
+  EXPECT_EQ(day_start(2), 2 * kMsPerDay);
+  EXPECT_EQ(hour_start(1, 3), kMsPerDay + 3 * kMsPerHour);
+  EXPECT_EQ(day_of(hour_start(5, 23)), 5);
+  EXPECT_EQ(hour_of(hour_start(5, 23)), 23);
+}
+
+TEST(Time, WeekendConvention) {
+  // Day 0 is a Monday; days 5 and 6 are the weekend, repeating weekly.
+  for (int d : {0, 1, 2, 3, 4}) EXPECT_FALSE(is_weekend(d)) << d;
+  for (int d : {5, 6}) EXPECT_TRUE(is_weekend(d)) << d;
+  EXPECT_FALSE(is_weekend(7));
+  EXPECT_TRUE(is_weekend(12));
+  EXPECT_TRUE(is_weekend(13));
+  EXPECT_FALSE(is_weekend(14));
+}
+
+TEST(Time, RoundTripDayHour) {
+  for (int day = 0; day < 10; ++day) {
+    for (int hour = 0; hour < kHoursPerDay; ++hour) {
+      const TimeMs t = hour_start(day, hour);
+      EXPECT_EQ(day_of(t), day);
+      EXPECT_EQ(hour_of(t), hour);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace netmaster

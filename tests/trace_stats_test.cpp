@@ -1,0 +1,120 @@
+// Tests for trace profiling statistics (the Fig. 1/2/5 measurements).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace netmaster {
+namespace {
+
+/// One day, one session [1000, 11000); two screen-on activities and two
+/// screen-off activities with known bytes and rates.
+UserTrace fixture() {
+  UserTrace t;
+  t.user = 1;
+  t.num_days = 1;
+  t.app_names = {"a", "b", "c"};
+  t.sessions = {{1000, 11'000}};
+  t.usages = {{0, 1500, 500}, {1, 2000, 500},
+              {0, 3 * kMsPerHour + 10, 500}};
+  t.activities = {
+      {0, 1500, 1000, 10'000, 0, true, false},   // on, 10 kB/s
+      {1, 2000, 2000, 2000, 2000, true, false},  // on, 2 kB/s
+      {1, 50'000, 4000, 800, 200, false, true},  // off, 0.25 kB/s
+      {2, 60'000, 1000, 100, 100, false, true},  // off, 0.2 kB/s
+  };
+  return t;
+}
+
+TEST(TrafficSplit, CountsAndBytes) {
+  const TrafficSplit s = traffic_split(fixture());
+  EXPECT_EQ(s.activities_screen_on, 2u);
+  EXPECT_EQ(s.activities_screen_off, 2u);
+  EXPECT_EQ(s.bytes_screen_on, 14'000);
+  EXPECT_EQ(s.bytes_screen_off, 1200);
+  EXPECT_DOUBLE_EQ(s.screen_off_activity_fraction(), 0.5);
+  EXPECT_NEAR(s.screen_off_byte_fraction(), 1200.0 / 15'200.0, 1e-12);
+}
+
+TEST(TrafficSplit, EmptyTrace) {
+  UserTrace t = fixture();
+  t.activities.clear();
+  const TrafficSplit s = traffic_split(t);
+  EXPECT_DOUBLE_EQ(s.screen_off_activity_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(s.screen_off_byte_fraction(), 0.0);
+}
+
+TEST(RateSamples, SplitByScreenState) {
+  const RateSamples s = transfer_rate_samples(fixture());
+  ASSERT_EQ(s.screen_on_kbps.size(), 2u);
+  ASSERT_EQ(s.screen_off_kbps.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.screen_on_kbps[0], 10.0);
+  EXPECT_DOUBLE_EQ(s.screen_on_kbps[1], 2.0);
+  EXPECT_DOUBLE_EQ(s.screen_off_kbps[0], 0.25);
+  EXPECT_DOUBLE_EQ(s.screen_off_kbps[1], 0.2);
+}
+
+TEST(RateSamples, SkipsZeroDuration) {
+  UserTrace t = fixture();
+  t.activities[0].duration = 0;
+  const RateSamples s = transfer_rate_samples(t);
+  EXPECT_EQ(s.screen_on_kbps.size(), 1u);
+}
+
+TEST(ScreenUtilization, KnownValues) {
+  const ScreenUtilization u = screen_utilization(fixture());
+  // One 10 s session, transfers cover [1500,2500) + [2000,4000) =
+  // [1500,4000) -> 2.5 s utilized.
+  EXPECT_DOUBLE_EQ(u.avg_session_s, 10.0);
+  EXPECT_DOUBLE_EQ(u.avg_utilized_s, 2.5);
+  EXPECT_DOUBLE_EQ(u.radio_utilization, 0.25);
+}
+
+TEST(ScreenUtilization, NoSessions) {
+  UserTrace t = fixture();
+  t.sessions.clear();
+  t.usages.clear();
+  const ScreenUtilization u = screen_utilization(t);
+  EXPECT_DOUBLE_EQ(u.radio_utilization, 0.0);
+  EXPECT_DOUBLE_EQ(u.avg_session_s, 0.0);
+}
+
+TEST(UsageIntensity, HourBuckets) {
+  const IntensityVector v = usage_intensity(fixture());
+  EXPECT_DOUBLE_EQ(v[0], 2.0);  // two usages in hour 0
+  EXPECT_DOUBLE_EQ(v[3], 1.0);
+  EXPECT_DOUBLE_EQ(v[12], 0.0);
+}
+
+TEST(UsageIntensity, PerDay) {
+  UserTrace t = fixture();
+  t.num_days = 2;
+  t.usages.push_back({2, kMsPerDay + 5 * kMsPerHour, 100});
+  const IntensityVector d0 = usage_intensity_for_day(t, 0);
+  const IntensityVector d1 = usage_intensity_for_day(t, 1);
+  EXPECT_DOUBLE_EQ(d0[0], 2.0);
+  EXPECT_DOUBLE_EQ(d0[5], 0.0);
+  EXPECT_DOUBLE_EQ(d1[5], 1.0);
+  EXPECT_THROW(usage_intensity_for_day(t, 2), Error);
+}
+
+TEST(PerApp, IntensityAndCounts) {
+  const auto per_app = per_app_intensity(fixture());
+  ASSERT_EQ(per_app.size(), 3u);
+  EXPECT_DOUBLE_EQ(per_app[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(per_app[1][0], 1.0);
+  EXPECT_DOUBLE_EQ(per_app[0][3], 1.0);
+  const auto counts = per_app_usage_counts(fixture());
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 0u);
+}
+
+TEST(ActiveNetworkedApps, RequiresBothUsageAndNetwork) {
+  // App 0: used + networked. App 1: used + networked. App 2: networked
+  // only (never used) -> excluded.
+  EXPECT_EQ(active_networked_app_count(fixture()), 2u);
+}
+
+}  // namespace
+}  // namespace netmaster
