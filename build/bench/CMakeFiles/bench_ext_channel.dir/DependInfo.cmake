@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ext_channel.cpp" "bench/CMakeFiles/bench_ext_channel.dir/bench_ext_channel.cpp.o" "gcc" "bench/CMakeFiles/bench_ext_channel.dir/bench_ext_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/nm_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/nm_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/nm_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/nm_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/nm_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/nm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/nm_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/duty/CMakeFiles/nm_duty.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/nm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/nm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

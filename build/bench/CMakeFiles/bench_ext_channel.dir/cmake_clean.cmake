@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_channel.dir/bench_ext_channel.cpp.o"
+  "CMakeFiles/bench_ext_channel.dir/bench_ext_channel.cpp.o.d"
+  "bench_ext_channel"
+  "bench_ext_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_lte.dir/bench_ext_lte.cpp.o"
+  "CMakeFiles/bench_ext_lte.dir/bench_ext_lte.cpp.o.d"
+  "bench_ext_lte"
+  "bench_ext_lte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_lte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_duty.dir/bench_fig10_duty.cpp.o"
+  "CMakeFiles/bench_fig10_duty.dir/bench_fig10_duty.cpp.o.d"
+  "bench_fig10_duty"
+  "bench_fig10_duty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_duty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

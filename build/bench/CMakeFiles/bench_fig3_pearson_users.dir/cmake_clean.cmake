@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_pearson_users.dir/bench_fig3_pearson_users.cpp.o"
+  "CMakeFiles/bench_fig3_pearson_users.dir/bench_fig3_pearson_users.cpp.o.d"
+  "bench_fig3_pearson_users"
+  "bench_fig3_pearson_users.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_pearson_users.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

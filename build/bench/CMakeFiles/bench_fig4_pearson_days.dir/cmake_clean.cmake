@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_pearson_days.dir/bench_fig4_pearson_days.cpp.o"
+  "CMakeFiles/bench_fig4_pearson_days.dir/bench_fig4_pearson_days.cpp.o.d"
+  "bench_fig4_pearson_days"
+  "bench_fig4_pearson_days.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_pearson_days.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

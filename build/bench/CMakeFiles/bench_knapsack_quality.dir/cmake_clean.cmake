@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_knapsack_quality.dir/bench_knapsack_quality.cpp.o"
+  "CMakeFiles/bench_knapsack_quality.dir/bench_knapsack_quality.cpp.o.d"
+  "bench_knapsack_quality"
+  "bench_knapsack_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_knapsack_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

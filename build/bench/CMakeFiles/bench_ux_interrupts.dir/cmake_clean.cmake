@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ux_interrupts.dir/bench_ux_interrupts.cpp.o"
+  "CMakeFiles/bench_ux_interrupts.dir/bench_ux_interrupts.cpp.o.d"
+  "bench_ux_interrupts"
+  "bench_ux_interrupts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ux_interrupts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

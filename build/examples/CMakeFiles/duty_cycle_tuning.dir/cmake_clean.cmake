@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duty_cycle_tuning.dir/duty_cycle_tuning.cpp.o"
+  "CMakeFiles/duty_cycle_tuning.dir/duty_cycle_tuning.cpp.o.d"
+  "duty_cycle_tuning"
+  "duty_cycle_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duty_cycle_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for duty_cycle_tuning.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/habit_explorer.dir/habit_explorer.cpp.o"
+  "CMakeFiles/habit_explorer.dir/habit_explorer.cpp.o.d"
+  "habit_explorer"
+  "habit_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/habit_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middleware_service.dir/middleware_service.cpp.o"
+  "CMakeFiles/middleware_service.dir/middleware_service.cpp.o.d"
+  "middleware_service"
+  "middleware_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middleware_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netmaster_cli.dir/netmaster_cli.cpp.o"
+  "CMakeFiles/netmaster_cli.dir/netmaster_cli.cpp.o.d"
+  "netmaster_cli"
+  "netmaster_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netmaster_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

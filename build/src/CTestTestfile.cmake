@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("trace")
+subdirs("power")
+subdirs("synth")
+subdirs("mining")
+subdirs("sched")
+subdirs("duty")
+subdirs("policy")
+subdirs("sim")
+subdirs("channel")
+subdirs("service")
+subdirs("eval")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/signal_model.cpp" "src/channel/CMakeFiles/nm_channel.dir/signal_model.cpp.o" "gcc" "src/channel/CMakeFiles/nm_channel.dir/signal_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/nm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/nm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/duty/CMakeFiles/nm_duty.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

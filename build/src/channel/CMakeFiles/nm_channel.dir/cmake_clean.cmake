@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_channel.dir/signal_model.cpp.o"
+  "CMakeFiles/nm_channel.dir/signal_model.cpp.o.d"
+  "libnm_channel.a"
+  "libnm_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

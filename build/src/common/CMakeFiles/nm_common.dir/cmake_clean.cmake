@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_common.dir/interval.cpp.o"
+  "CMakeFiles/nm_common.dir/interval.cpp.o.d"
+  "CMakeFiles/nm_common.dir/stats.cpp.o"
+  "CMakeFiles/nm_common.dir/stats.cpp.o.d"
+  "libnm_common.a"
+  "libnm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

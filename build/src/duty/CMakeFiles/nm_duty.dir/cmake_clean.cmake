@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_duty.dir/duty_cycle.cpp.o"
+  "CMakeFiles/nm_duty.dir/duty_cycle.cpp.o.d"
+  "libnm_duty.a"
+  "libnm_duty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_duty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

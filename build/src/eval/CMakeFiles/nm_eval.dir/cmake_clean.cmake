@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_eval.dir/experiments.cpp.o"
+  "CMakeFiles/nm_eval.dir/experiments.cpp.o.d"
+  "CMakeFiles/nm_eval.dir/table.cpp.o"
+  "CMakeFiles/nm_eval.dir/table.cpp.o.d"
+  "libnm_eval.a"
+  "libnm_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mining/habits.cpp" "src/mining/CMakeFiles/nm_mining.dir/habits.cpp.o" "gcc" "src/mining/CMakeFiles/nm_mining.dir/habits.cpp.o.d"
+  "/root/repo/src/mining/pearson.cpp" "src/mining/CMakeFiles/nm_mining.dir/pearson.cpp.o" "gcc" "src/mining/CMakeFiles/nm_mining.dir/pearson.cpp.o.d"
+  "/root/repo/src/mining/special_apps.cpp" "src/mining/CMakeFiles/nm_mining.dir/special_apps.cpp.o" "gcc" "src/mining/CMakeFiles/nm_mining.dir/special_apps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/nm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

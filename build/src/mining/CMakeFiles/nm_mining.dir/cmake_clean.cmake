@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_mining.dir/habits.cpp.o"
+  "CMakeFiles/nm_mining.dir/habits.cpp.o.d"
+  "CMakeFiles/nm_mining.dir/pearson.cpp.o"
+  "CMakeFiles/nm_mining.dir/pearson.cpp.o.d"
+  "CMakeFiles/nm_mining.dir/special_apps.cpp.o"
+  "CMakeFiles/nm_mining.dir/special_apps.cpp.o.d"
+  "libnm_mining.a"
+  "libnm_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/baseline.cpp" "src/policy/CMakeFiles/nm_policy.dir/baseline.cpp.o" "gcc" "src/policy/CMakeFiles/nm_policy.dir/baseline.cpp.o.d"
+  "/root/repo/src/policy/batch.cpp" "src/policy/CMakeFiles/nm_policy.dir/batch.cpp.o" "gcc" "src/policy/CMakeFiles/nm_policy.dir/batch.cpp.o.d"
+  "/root/repo/src/policy/delay.cpp" "src/policy/CMakeFiles/nm_policy.dir/delay.cpp.o" "gcc" "src/policy/CMakeFiles/nm_policy.dir/delay.cpp.o.d"
+  "/root/repo/src/policy/delay_batch.cpp" "src/policy/CMakeFiles/nm_policy.dir/delay_batch.cpp.o" "gcc" "src/policy/CMakeFiles/nm_policy.dir/delay_batch.cpp.o.d"
+  "/root/repo/src/policy/netmaster.cpp" "src/policy/CMakeFiles/nm_policy.dir/netmaster.cpp.o" "gcc" "src/policy/CMakeFiles/nm_policy.dir/netmaster.cpp.o.d"
+  "/root/repo/src/policy/oracle.cpp" "src/policy/CMakeFiles/nm_policy.dir/oracle.cpp.o" "gcc" "src/policy/CMakeFiles/nm_policy.dir/oracle.cpp.o.d"
+  "/root/repo/src/policy/policy.cpp" "src/policy/CMakeFiles/nm_policy.dir/policy.cpp.o" "gcc" "src/policy/CMakeFiles/nm_policy.dir/policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/nm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/nm_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/duty/CMakeFiles/nm_duty.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/nm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/nm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_policy.dir/baseline.cpp.o"
+  "CMakeFiles/nm_policy.dir/baseline.cpp.o.d"
+  "CMakeFiles/nm_policy.dir/batch.cpp.o"
+  "CMakeFiles/nm_policy.dir/batch.cpp.o.d"
+  "CMakeFiles/nm_policy.dir/delay.cpp.o"
+  "CMakeFiles/nm_policy.dir/delay.cpp.o.d"
+  "CMakeFiles/nm_policy.dir/delay_batch.cpp.o"
+  "CMakeFiles/nm_policy.dir/delay_batch.cpp.o.d"
+  "CMakeFiles/nm_policy.dir/netmaster.cpp.o"
+  "CMakeFiles/nm_policy.dir/netmaster.cpp.o.d"
+  "CMakeFiles/nm_policy.dir/oracle.cpp.o"
+  "CMakeFiles/nm_policy.dir/oracle.cpp.o.d"
+  "CMakeFiles/nm_policy.dir/policy.cpp.o"
+  "CMakeFiles/nm_policy.dir/policy.cpp.o.d"
+  "libnm_policy.a"
+  "libnm_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_power.dir/radio_model.cpp.o"
+  "CMakeFiles/nm_power.dir/radio_model.cpp.o.d"
+  "libnm_power.a"
+  "libnm_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

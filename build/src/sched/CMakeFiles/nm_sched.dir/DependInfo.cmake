@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/instance.cpp" "src/sched/CMakeFiles/nm_sched.dir/instance.cpp.o" "gcc" "src/sched/CMakeFiles/nm_sched.dir/instance.cpp.o.d"
+  "/root/repo/src/sched/knapsack.cpp" "src/sched/CMakeFiles/nm_sched.dir/knapsack.cpp.o" "gcc" "src/sched/CMakeFiles/nm_sched.dir/knapsack.cpp.o.d"
+  "/root/repo/src/sched/overlap.cpp" "src/sched/CMakeFiles/nm_sched.dir/overlap.cpp.o" "gcc" "src/sched/CMakeFiles/nm_sched.dir/overlap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mining/CMakeFiles/nm_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/nm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/nm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

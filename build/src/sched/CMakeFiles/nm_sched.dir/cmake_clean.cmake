@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_sched.dir/instance.cpp.o"
+  "CMakeFiles/nm_sched.dir/instance.cpp.o.d"
+  "CMakeFiles/nm_sched.dir/knapsack.cpp.o"
+  "CMakeFiles/nm_sched.dir/knapsack.cpp.o.d"
+  "CMakeFiles/nm_sched.dir/overlap.cpp.o"
+  "CMakeFiles/nm_sched.dir/overlap.cpp.o.d"
+  "libnm_sched.a"
+  "libnm_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

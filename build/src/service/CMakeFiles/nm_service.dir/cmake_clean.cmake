@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_service.dir/components.cpp.o"
+  "CMakeFiles/nm_service.dir/components.cpp.o.d"
+  "CMakeFiles/nm_service.dir/monitoring.cpp.o"
+  "CMakeFiles/nm_service.dir/monitoring.cpp.o.d"
+  "CMakeFiles/nm_service.dir/online_sim.cpp.o"
+  "CMakeFiles/nm_service.dir/online_sim.cpp.o.d"
+  "CMakeFiles/nm_service.dir/record_store.cpp.o"
+  "CMakeFiles/nm_service.dir/record_store.cpp.o.d"
+  "libnm_service.a"
+  "libnm_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

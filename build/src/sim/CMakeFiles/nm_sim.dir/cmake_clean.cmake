@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_sim.dir/accounting.cpp.o"
+  "CMakeFiles/nm_sim.dir/accounting.cpp.o.d"
+  "libnm_sim.a"
+  "libnm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_synth.dir/generator.cpp.o"
+  "CMakeFiles/nm_synth.dir/generator.cpp.o.d"
+  "CMakeFiles/nm_synth.dir/presets.cpp.o"
+  "CMakeFiles/nm_synth.dir/presets.cpp.o.d"
+  "libnm_synth.a"
+  "libnm_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

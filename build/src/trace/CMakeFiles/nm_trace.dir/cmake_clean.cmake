@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_trace.dir/trace.cpp.o"
+  "CMakeFiles/nm_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/nm_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/nm_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/nm_trace.dir/trace_stats.cpp.o"
+  "CMakeFiles/nm_trace.dir/trace_stats.cpp.o.d"
+  "libnm_trace.a"
+  "libnm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

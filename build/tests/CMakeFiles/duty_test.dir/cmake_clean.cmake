@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duty_test.dir/duty_test.cpp.o"
+  "CMakeFiles/duty_test.dir/duty_test.cpp.o.d"
+  "duty_test"
+  "duty_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duty_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netmaster_test.dir/netmaster_test.cpp.o"
+  "CMakeFiles/netmaster_test.dir/netmaster_test.cpp.o.d"
+  "netmaster_test"
+  "netmaster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netmaster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

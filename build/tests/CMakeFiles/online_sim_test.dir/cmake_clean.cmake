@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_sim_test.dir/online_sim_test.cpp.o"
+  "CMakeFiles/online_sim_test.dir/online_sim_test.cpp.o.d"
+  "online_sim_test"
+  "online_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pearson_test.dir/pearson_test.cpp.o"
+  "CMakeFiles/pearson_test.dir/pearson_test.cpp.o.d"
+  "pearson_test"
+  "pearson_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pearson_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radio_model_test.dir/radio_model_test.cpp.o"
+  "CMakeFiles/radio_model_test.dir/radio_model_test.cpp.o.d"
+  "radio_model_test"
+  "radio_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radio_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
