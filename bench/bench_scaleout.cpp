@@ -5,13 +5,17 @@
 // diverse users and report the distribution of NetMaster's saving (and
 // its battery-life meaning), plus the thread-scaling of the experiment
 // harness itself.
+#include <chrono>
+#include <cmath>
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/stats.hpp"
 #include "eval/battery.hpp"
 #include "eval/experiments.hpp"
+#include "eval/fleet.hpp"
 #include "policy/baseline.hpp"
 #include "policy/netmaster.hpp"
 #include "sim/accounting.hpp"
@@ -71,6 +75,8 @@ std::vector<UserResult> run_population(int n, unsigned max_threads = 0) {
   return results;
 }
 
+void print_fleet_figure();
+
 void print_figure() {
   bench::banner("Extension — population scale-out",
                 "saving distribution over 8/16/32 diverse users "
@@ -99,7 +105,121 @@ void print_figure() {
   t.print(std::cout);
   std::cout << "expected shape: savings hold across a diverse "
                "population; interrupts stay < 1% for every user\n\n";
+  print_fleet_figure();
 }
+
+// ---- Fleet vs legacy N-user × all-policies sweep. ----
+//
+// The legacy path is the shape the eval layer had before the engine
+// refactor: each (user, policy) cell regenerates the volunteer's traces
+// (the per-point sweeps called make_traces per point per profile) and
+// each policy rebuilds its own session state from the raw trace.
+// The fleet path (eval::run_fleet) generates and indexes every user's
+// trace once, shares the engine::TraceIndex across all policies, and
+// parallelizes over the full N×M grid.
+
+std::vector<double> legacy_sweep_energy(
+    const std::vector<synth::UserProfile>& users,
+    const eval::ExperimentConfig& cfg,
+    const std::vector<eval::PolicySpec>& suite) {
+  const RadioPowerParams radio = cfg.netmaster.profit.radio;
+  std::vector<double> energy(users.size() * suite.size());
+  parallel_for(users.size(), [&](std::size_t u) {
+    for (std::size_t p = 0; p < suite.size(); ++p) {
+      const eval::VolunteerTraces traces = eval::make_traces(users[u], cfg);
+      const auto pol = suite[p].make(traces.training);
+      const sim::SimReport rep =
+          sim::account(traces.eval, pol->run(traces.eval), radio);
+      energy[u * suite.size() + p] = rep.energy_j;
+    }
+  });
+  return energy;
+}
+
+std::vector<double> fleet_sweep_energy(
+    const std::vector<synth::UserProfile>& users,
+    const eval::ExperimentConfig& cfg,
+    const std::vector<eval::PolicySpec>& suite) {
+  const eval::FleetReport report = eval::run_fleet(users, suite, cfg);
+  std::vector<double> energy(report.cells.size());
+  for (std::size_t c = 0; c < report.cells.size(); ++c) {
+    energy[c] = report.cells[c].report.energy_j;
+  }
+  return energy;
+}
+
+template <typename F>
+double best_of_ms(int reps, F&& f) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    f();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+void print_fleet_figure() {
+  bench::banner("Engine refactor — fleet sweep vs legacy per-cell path",
+                "one shared TraceIndex per user across all policies "
+                "(refactor target: >= 1.3x)");
+  eval::Table t({"users", "policies", "legacy ms", "fleet ms", "speedup",
+                 "results"});
+  eval::ExperimentConfig cfg;
+  cfg.seed = bench::kDefaultSeed;
+  const auto suite = eval::standard_policy_suite(cfg.netmaster);
+  for (int n : {8, 16, 32}) {
+    const auto users = population(n);
+
+    const std::vector<double> legacy =
+        legacy_sweep_energy(users, cfg, suite);
+    const std::vector<double> fleet = fleet_sweep_energy(users, cfg, suite);
+    NM_REQUIRE(legacy.size() == fleet.size(),
+               "sweep paths must produce the same cell grid");
+    bool identical = true;
+    for (std::size_t c = 0; c < legacy.size(); ++c) {
+      if (legacy[c] != fleet[c]) identical = false;
+    }
+
+    const double legacy_ms =
+        best_of_ms(2, [&] { legacy_sweep_energy(users, cfg, suite); });
+    const double fleet_ms =
+        best_of_ms(2, [&] { fleet_sweep_energy(users, cfg, suite); });
+    const double speedup = fleet_ms > 0.0 ? legacy_ms / fleet_ms : 0.0;
+    t.add_row({std::to_string(n), std::to_string(suite.size()),
+               eval::Table::num(legacy_ms, 1), eval::Table::num(fleet_ms, 1),
+               eval::Table::num(speedup, 2) + "x",
+               identical ? "bit-identical" : "MISMATCH"});
+  }
+  t.print(std::cout);
+  std::cout << "expected shape: speedup >= 1.3x at every population size; "
+               "cell energies bit-identical between paths\n\n";
+}
+
+void BM_LegacySweep16(benchmark::State& state) {
+  eval::ExperimentConfig cfg;
+  cfg.seed = bench::kDefaultSeed;
+  const auto suite = eval::standard_policy_suite(cfg.netmaster);
+  const auto users = population(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(legacy_sweep_energy(users, cfg, suite));
+  }
+}
+BENCHMARK(BM_LegacySweep16)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_FleetSweep16(benchmark::State& state) {
+  eval::ExperimentConfig cfg;
+  cfg.seed = bench::kDefaultSeed;
+  const auto suite = eval::standard_policy_suite(cfg.netmaster);
+  const auto users = population(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fleet_sweep_energy(users, cfg, suite));
+  }
+}
+BENCHMARK(BM_FleetSweep16)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_Population16(benchmark::State& state) {
   const auto threads = static_cast<unsigned>(state.range(0));

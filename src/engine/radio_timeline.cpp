@@ -1,0 +1,38 @@
+#include "engine/radio_timeline.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace netmaster::engine {
+
+RadioTimeline::RadioTimeline(TimeMs horizon) : horizon_(horizon) {
+  NM_REQUIRE(horizon >= 0, "timeline horizon must be non-negative");
+}
+
+void RadioTimeline::allow(TimeMs begin, TimeMs end) {
+  begin = std::max<TimeMs>(begin, 0);
+  end = std::min(end, horizon_);
+  if (begin < end) allowed_.add(begin, end);
+}
+
+void RadioTimeline::allow(const IntervalSet& set) {
+  for (const Interval& iv : set.intervals()) allow(iv.begin, iv.end);
+}
+
+void RadioTimeline::allow_windows(const std::vector<Interval>& windows) {
+  for (const Interval& w : windows) allow(w.begin, w.end);
+}
+
+void RadioTimeline::allow_transfers(
+    const std::vector<sim::ExecutedTransfer>& transfers, DurationMs grace) {
+  for (const sim::ExecutedTransfer& t : transfers) {
+    allow(t.start, t.start + t.duration + grace);
+  }
+}
+
+void RadioTimeline::allow_wakes(const std::vector<duty::WakeEvent>& wakes) {
+  for (const duty::WakeEvent& w : wakes) allow(w.time, w.time + w.window);
+}
+
+}  // namespace netmaster::engine

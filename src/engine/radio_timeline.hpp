@@ -1,0 +1,54 @@
+// Canonical builder for the radio on/off timeline.
+//
+// Policies that drive the data switch (NetMaster, the oracle, the
+// online event loop) all need the same construction: the set of windows
+// in which the radio may be non-IDLE — executed transfers extended by
+// the dormancy-signalling grace, duty-cycle wake probes, predicted
+// active slots. Each used to assemble that IntervalSet by hand;
+// RadioTimeline is the one shared builder, clamping every window to
+// [0, horizon) and keeping the set canonical, and the accountant
+// (sim/accounting.cpp) consumes the same representation.
+#pragma once
+
+#include <vector>
+
+#include "common/interval.hpp"
+#include "common/time.hpp"
+#include "duty/duty_cycle.hpp"
+#include "sim/outcome.hpp"
+
+namespace netmaster::engine {
+
+class RadioTimeline {
+ public:
+  explicit RadioTimeline(TimeMs horizon);
+
+  TimeMs horizon() const { return horizon_; }
+
+  /// Allows the radio inside [begin, end), clamped to [0, horizon).
+  void allow(TimeMs begin, TimeMs end);
+  void allow(const Interval& window) { allow(window.begin, window.end); }
+
+  /// Union with an existing canonical set (clamped per interval).
+  void allow(const IntervalSet& set);
+
+  void allow_windows(const std::vector<Interval>& windows);
+
+  /// Allows each executed transfer's interval, extended by `grace`
+  /// (the release-signalling delay before the forced dormancy drop).
+  void allow_transfers(const std::vector<sim::ExecutedTransfer>& transfers,
+                       DurationMs grace = 0);
+
+  /// Allows each duty-cycle probe window.
+  void allow_wakes(const std::vector<duty::WakeEvent>& wakes);
+
+  const IntervalSet& allowed() const { return allowed_; }
+  IntervalSet build() const& { return allowed_; }
+  IntervalSet build() && { return std::move(allowed_); }
+
+ private:
+  TimeMs horizon_;
+  IntervalSet allowed_;
+};
+
+}  // namespace netmaster::engine

@@ -1,0 +1,153 @@
+#include "engine/trace_index.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace netmaster::engine {
+
+TraceIndex::TraceIndex(const UserTrace& trace)
+    : trace_(&trace), horizon_(trace.trace_end()) {
+  const std::vector<NetworkActivity>& acts = trace.activities;
+  deferrable_flags_.resize(acts.size(), false);
+  for (std::size_t i = 0; i < acts.size(); ++i) {
+    if (acts[i].deferrable && !screen_on_at(acts[i].start)) {
+      deferrable_flags_[i] = true;
+      deferrable_.push_back(i);
+    }
+  }
+
+  // Per-(day, hour) buckets. Events outside [0, horizon) are skipped so
+  // the index stays total on malformed traces (validate() still rejects
+  // them where strictness matters).
+  const int days = std::max(trace.num_days, 0);
+  buckets_.resize(static_cast<std::size_t>(days) * kHoursPerDay);
+  const std::size_t num_apps = trace.app_names.size();
+  std::vector<bool> app_seen(buckets_.size() * num_apps, false);
+  for (const AppUsage& u : trace.usages) {
+    if (u.time < 0 || u.time >= horizon_) continue;
+    ++buckets_[static_cast<std::size_t>(day_of(u.time)) * kHoursPerDay +
+               static_cast<std::size_t>(hour_of(u.time))]
+          .usage_count;
+  }
+  for (std::size_t i = 0; i < acts.size(); ++i) {
+    const NetworkActivity& n = acts[i];
+    if (n.start < 0 || n.start >= horizon_) continue;
+    if (screen_on_at(n.start)) continue;  // screen-off only (Eq. 3)
+    const std::size_t b =
+        static_cast<std::size_t>(day_of(n.start)) * kHoursPerDay +
+        static_cast<std::size_t>(hour_of(n.start));
+    HourBucket& bucket = buckets_[b];
+    ++bucket.net_count;
+    bucket.net_bytes += static_cast<double>(n.total_bytes());
+    if (n.app >= 0 && static_cast<std::size_t>(n.app) < num_apps) {
+      const std::size_t bit =
+          b * num_apps + static_cast<std::size_t>(n.app);
+      if (!app_seen[bit]) {
+        app_seen[bit] = true;
+        ++bucket.distinct_net_apps;
+      }
+    }
+  }
+}
+
+bool TraceIndex::screen_on_at(TimeMs t) const {
+  const std::vector<ScreenSession>& sessions = trace_->sessions;
+  auto it = std::lower_bound(
+      sessions.begin(), sessions.end(), t,
+      [](const ScreenSession& s, TimeMs v) { return s.end <= v; });
+  return it != sessions.end() && it->begin <= t && t < it->end;
+}
+
+std::size_t TraceIndex::first_session_at_or_after(TimeMs t) const {
+  const std::vector<ScreenSession>& sessions = trace_->sessions;
+  const auto it = std::lower_bound(
+      sessions.begin(), sessions.end(), t,
+      [](const ScreenSession& s, TimeMs v) { return s.begin < v; });
+  return static_cast<std::size_t>(it - sessions.begin());
+}
+
+TimeMs TraceIndex::next_session_begin(TimeMs t, TimeMs fallback) const {
+  const std::size_t idx = first_session_at_or_after(t);
+  return idx < trace_->sessions.size() ? trace_->sessions[idx].begin
+                                       : fallback;
+}
+
+TimeMs TraceIndex::last_session_begin_in(TimeMs lo, TimeMs hi) const {
+  std::size_t idx = first_session_at_or_after(hi);
+  if (idx == 0) return -1;
+  const TimeMs begin = trace_->sessions[idx - 1].begin;
+  return begin >= lo ? begin : -1;
+}
+
+const TraceIndex::HourBucket& TraceIndex::bucket(int day, int hour) const {
+  NM_REQUIRE(day >= 0 && day < trace_->num_days, "bucket day out of range");
+  NM_REQUIRE(hour >= 0 && hour < kHoursPerDay, "bucket hour out of range");
+  return buckets_[static_cast<std::size_t>(day) * kHoursPerDay +
+                  static_cast<std::size_t>(hour)];
+}
+
+void TraceIndex::check_invariants() const {
+  const UserTrace& trace = *trace_;
+
+  // Sessions sorted, disjoint, non-empty (mirrors UserTrace::validate
+  // so a corrupted index is caught even on traces nobody validated).
+  TimeMs prev_end = 0;
+  for (const ScreenSession& s : trace.sessions) {
+    NM_REQUIRE(s.begin < s.end, "index: empty screen session");
+    NM_REQUIRE(s.begin >= prev_end, "index: sessions unsorted/overlapping");
+    prev_end = s.end;
+  }
+
+  // Every activity classified exactly once, and exactly as the
+  // canonical predicate does on the raw trace.
+  NM_REQUIRE(deferrable_flags_.size() == trace.activities.size(),
+             "index: classification size mismatch");
+  std::size_t flagged = 0;
+  for (std::size_t i = 0; i < trace.activities.size(); ++i) {
+    const NetworkActivity& act = trace.activities[i];
+    const bool expect =
+        act.deferrable && !trace.screen_on_at(act.start);
+    NM_REQUIRE(deferrable_flags_[i] == expect,
+               "index: classification disagrees with the trace");
+    if (deferrable_flags_[i]) ++flagged;
+  }
+  NM_REQUIRE(deferrable_.size() == flagged,
+             "index: deferrable list size mismatch");
+  for (std::size_t k = 0; k < deferrable_.size(); ++k) {
+    NM_REQUIRE(deferrable_[k] < deferrable_flags_.size() &&
+                   deferrable_flags_[deferrable_[k]],
+               "index: deferrable list references unflagged activity");
+    NM_REQUIRE(k == 0 || deferrable_[k - 1] < deferrable_[k],
+               "index: deferrable list not strictly ascending");
+  }
+
+  // Bucket totals match the in-range event counts.
+  int usage_total = 0;
+  int net_total = 0;
+  for (const HourBucket& b : buckets_) {
+    NM_REQUIRE(b.usage_count >= 0 && b.net_count >= 0 &&
+                   b.net_bytes >= 0.0 && b.distinct_net_apps >= 0,
+               "index: negative bucket counter");
+    NM_REQUIRE(b.distinct_net_apps <= b.net_count,
+               "index: more distinct apps than activities in bucket");
+    usage_total += b.usage_count;
+    net_total += b.net_count;
+  }
+  int usage_expected = 0;
+  for (const AppUsage& u : trace.usages) {
+    if (u.time >= 0 && u.time < horizon_) ++usage_expected;
+  }
+  int net_expected = 0;
+  for (const NetworkActivity& n : trace.activities) {
+    if (n.start >= 0 && n.start < horizon_ && !trace.screen_on_at(n.start)) {
+      ++net_expected;
+    }
+  }
+  NM_REQUIRE(usage_total == usage_expected,
+             "index: usage bucket totals drifted from the trace");
+  NM_REQUIRE(net_total == net_expected,
+             "index: network bucket totals drifted from the trace");
+}
+
+}  // namespace netmaster::engine

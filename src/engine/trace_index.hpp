@@ -1,0 +1,92 @@
+// Shared replay index over one UserTrace.
+//
+// Every policy and the online event loop need the same handful of
+// derived facts about an evaluation trace: binary-searchable screen
+// session boundaries, the set of deferrable screen-off activities (the
+// class the paper's optimizations target), and per-(day, hour) activity
+// buckets (the mining substrate). A TraceIndex computes all of them
+// once; N policies replaying the same user then share one index instead
+// of re-deriving the facts with per-policy O(n log s) scans. The index
+// borrows the trace — the UserTrace must outlive it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/time.hpp"
+#include "trace/trace.hpp"
+
+namespace netmaster::engine {
+
+class TraceIndex {
+ public:
+  /// Indexes `trace` (kept by reference — it must outlive the index).
+  /// Does not validate: policies accept the same traces they always
+  /// did; call trace().validate() for strict checking.
+  explicit TraceIndex(const UserTrace& trace);
+
+  const UserTrace& trace() const { return *trace_; }
+  TimeMs horizon() const { return horizon_; }
+  const std::vector<ScreenSession>& sessions() const {
+    return trace_->sessions;
+  }
+  const std::vector<NetworkActivity>& activities() const {
+    return trace_->activities;
+  }
+
+  // ---- Session lookups (binary search over the sorted sessions). ----
+
+  /// True when the screen is on at instant t (same contract as
+  /// UserTrace::screen_on_at).
+  bool screen_on_at(TimeMs t) const;
+
+  /// Index of the first session with begin >= t; sessions().size()
+  /// when none.
+  std::size_t first_session_at_or_after(TimeMs t) const;
+
+  /// Begin of the first session with begin >= t, or `fallback` when
+  /// no session starts at or after t.
+  TimeMs next_session_begin(TimeMs t, TimeMs fallback) const;
+
+  /// Begin of the last session starting inside [lo, hi); -1 when none.
+  TimeMs last_session_begin_in(TimeMs lo, TimeMs hi) const;
+
+  // ---- Activity classification (computed once at construction). ----
+
+  /// True when activity `activity_index` is a deferrable (background)
+  /// transfer arriving while the screen is off — precomputed
+  /// policy::is_deferrable_screen_off.
+  bool is_deferrable_screen_off(std::size_t activity_index) const {
+    return deferrable_flags_[activity_index];
+  }
+
+  /// Ascending indices of the deferrable screen-off activities.
+  const std::vector<std::size_t>& deferrable_screen_off() const {
+    return deferrable_;
+  }
+
+  // ---- Per-(day, hour) buckets (the mining substrate). ----
+
+  struct HourBucket {
+    int usage_count = 0;  ///< foreground interactions starting this hour
+    int net_count = 0;    ///< screen-off network activities
+    double net_bytes = 0.0;      ///< bytes moved by those activities
+    int distinct_net_apps = 0;   ///< apps with screen-off traffic
+  };
+
+  const HourBucket& bucket(int day, int hour) const;
+
+  /// Throws netmaster::Error when an internal invariant is broken
+  /// (sessions unsorted/overlapping, classification inconsistent with
+  /// the trace, bucket totals not matching the event counts).
+  void check_invariants() const;
+
+ private:
+  const UserTrace* trace_;
+  TimeMs horizon_ = 0;
+  std::vector<bool> deferrable_flags_;    ///< per activity index
+  std::vector<std::size_t> deferrable_;   ///< ascending activity indices
+  std::vector<HourBucket> buckets_;       ///< num_days * kHoursPerDay
+};
+
+}  // namespace netmaster::engine

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "engine/trace_index.hpp"
 #include "mining/habits.hpp"
 #include "policy/baseline.hpp"
 #include "policy/batch.hpp"
@@ -17,12 +18,13 @@ namespace netmaster::eval {
 
 namespace {
 
-ComparisonRow make_row(const policy::Policy& p, const UserTrace& eval_trace,
+ComparisonRow make_row(const policy::Policy& p,
+                       const engine::TraceIndex& index,
                        const sim::SimReport& baseline,
                        const RadioPowerParams& radio) {
   ComparisonRow row;
   row.policy = p.name();
-  row.report = sim::account(eval_trace, p.run(eval_trace), radio);
+  row.report = sim::account(index.trace(), p.run(index), radio);
   if (baseline.energy_j > 0.0) {
     row.energy_saving = 1.0 - row.report.energy_j / baseline.energy_j;
   }
@@ -45,6 +47,35 @@ ComparisonRow make_row(const policy::Policy& p, const UserTrace& eval_trace,
   return row;
 }
 
+/// Per-profile state every sweep point replays against: the train/eval
+/// split, the evaluation-trace index, and the baseline reference report.
+/// Built once per sweep so the points only pay for their own policy
+/// runs, not for regenerating traces.
+struct SharedProfiles {
+  std::vector<VolunteerTraces> traces;
+  std::vector<std::unique_ptr<engine::TraceIndex>> index;
+  std::vector<sim::SimReport> baseline;
+};
+
+SharedProfiles prepare_shared(const std::vector<synth::UserProfile>& profiles,
+                              const ExperimentConfig& config) {
+  SharedProfiles shared;
+  const std::size_t n = profiles.size();
+  shared.traces.resize(n);
+  shared.index.resize(n);
+  shared.baseline.resize(n);
+  const RadioPowerParams& radio = config.netmaster.profit.radio;
+  parallel_for(n, [&](std::size_t i) {
+    shared.traces[i] = make_traces(profiles[i], config);
+    shared.index[i] =
+        std::make_unique<engine::TraceIndex>(shared.traces[i].eval);
+    const policy::BaselinePolicy baseline;
+    shared.baseline[i] = sim::account(shared.traces[i].eval,
+                                      baseline.run(*shared.index[i]), radio);
+  });
+  return shared;
+}
+
 }  // namespace
 
 VolunteerTraces make_traces(const synth::UserProfile& profile,
@@ -64,6 +95,7 @@ VolunteerTraces make_traces(const synth::UserProfile& profile,
 VolunteerComparison compare_policies(const synth::UserProfile& profile,
                                      const ExperimentConfig& config) {
   const VolunteerTraces traces = make_traces(profile, config);
+  const engine::TraceIndex index(traces.eval);
   const RadioPowerParams& radio = config.netmaster.profit.radio;
 
   VolunteerComparison result;
@@ -72,7 +104,7 @@ VolunteerComparison compare_policies(const synth::UserProfile& profile,
 
   const policy::BaselinePolicy baseline;
   result.baseline =
-      sim::account(traces.eval, baseline.run(traces.eval), radio);
+      sim::account(traces.eval, baseline.run(index), radio);
 
   std::vector<std::unique_ptr<policy::Policy>> policies;
   policies.push_back(std::make_unique<policy::OraclePolicy>(
@@ -87,9 +119,9 @@ VolunteerComparison compare_policies(const synth::UserProfile& profile,
       std::make_unique<policy::DelayBatchPolicy>(seconds(60)));
 
   result.rows.push_back(
-      make_row(baseline, traces.eval, result.baseline, radio));
+      make_row(baseline, index, result.baseline, radio));
   for (const auto& p : policies) {
-    result.rows.push_back(make_row(*p, traces.eval, result.baseline, radio));
+    result.rows.push_back(make_row(*p, index, result.baseline, radio));
   }
   return result;
 }
@@ -106,24 +138,20 @@ std::vector<VolunteerComparison> compare_all(
 
 namespace {
 
-/// Runs one parameterized policy over every profile and averages the
-/// sweep metrics.
+/// Runs one parameterized policy over every shared profile and averages
+/// the sweep metrics.
 template <typename MakePolicy>
-SweepPoint sweep_point(double x,
-                       const std::vector<synth::UserProfile>& profiles,
+SweepPoint sweep_point(double x, const SharedProfiles& shared,
                        const ExperimentConfig& config,
                        MakePolicy&& make_policy) {
   SweepPoint point;
   point.x = x;
   const RadioPowerParams& radio = config.netmaster.profit.radio;
-  for (const synth::UserProfile& profile : profiles) {
-    const VolunteerTraces traces = make_traces(profile, config);
-    const policy::BaselinePolicy baseline_policy;
-    const sim::SimReport base =
-        sim::account(traces.eval, baseline_policy.run(traces.eval), radio);
+  for (std::size_t i = 0; i < shared.index.size(); ++i) {
+    const sim::SimReport& base = shared.baseline[i];
     const auto p = make_policy();
-    const sim::SimReport rep =
-        sim::account(traces.eval, p->run(traces.eval), radio);
+    const sim::SimReport rep = sim::account(
+        shared.traces[i].eval, p->run(*shared.index[i]), radio);
 
     if (base.energy_j > 0.0) {
       point.energy_saving += 1.0 - rep.energy_j / base.energy_j;
@@ -139,7 +167,7 @@ SweepPoint sweep_point(double x,
     }
     point.affected_fraction += rep.affected_fraction;
   }
-  const auto n = static_cast<double>(profiles.size());
+  const auto n = static_cast<double>(shared.index.size());
   point.energy_saving /= n;
   point.radio_on_reduction /= n;
   point.bandwidth_increase /= n;
@@ -152,15 +180,16 @@ SweepPoint sweep_point(double x,
 std::vector<SweepPoint> delay_sweep(
     const std::vector<synth::UserProfile>& profiles,
     const std::vector<double>& delays_s, const ExperimentConfig& config) {
+  const SharedProfiles shared = prepare_shared(profiles, config);
   std::vector<SweepPoint> points(delays_s.size());
   parallel_for(delays_s.size(), [&](std::size_t i) {
     const double d = delays_s[i];
     if (d <= 0.0) {
-      points[i] = sweep_point(d, profiles, config, [] {
+      points[i] = sweep_point(d, shared, config, [] {
         return std::make_unique<policy::BaselinePolicy>();
       });
     } else {
-      points[i] = sweep_point(d, profiles, config, [d] {
+      points[i] = sweep_point(d, shared, config, [d] {
         return std::make_unique<policy::DelayPolicy>(seconds(d));
       });
     }
@@ -172,11 +201,12 @@ std::vector<SweepPoint> batch_sweep(
     const std::vector<synth::UserProfile>& profiles,
     const std::vector<std::size_t>& sizes,
     const ExperimentConfig& config) {
+  const SharedProfiles shared = prepare_shared(profiles, config);
   std::vector<SweepPoint> points(sizes.size());
   parallel_for(sizes.size(), [&](std::size_t i) {
     const std::size_t n = sizes[i];
     points[i] =
-        sweep_point(static_cast<double>(n), profiles, config, [n] {
+        sweep_point(static_cast<double>(n), shared, config, [n] {
           return std::make_unique<policy::BatchPolicy>(n);
         });
   });
@@ -186,13 +216,24 @@ std::vector<SweepPoint> batch_sweep(
 std::vector<ThresholdPoint> threshold_sweep(
     const std::vector<synth::UserProfile>& profiles,
     const std::vector<double>& deltas, const ExperimentConfig& config) {
+  const SharedProfiles shared = prepare_shared(profiles, config);
+  const RadioPowerParams& radio = config.netmaster.profit.radio;
+
+  // The oracle report is δ-invariant: compute it once per profile
+  // instead of once per sweep point.
+  std::vector<sim::SimReport> oracle_reports(profiles.size());
+  parallel_for(profiles.size(), [&](std::size_t i) {
+    const policy::OraclePolicy oracle(config.netmaster.profit);
+    oracle_reports[i] = sim::account(shared.traces[i].eval,
+                                     oracle.run(*shared.index[i]), radio);
+  });
+
   std::vector<ThresholdPoint> points(deltas.size());
   parallel_for(deltas.size(), [&](std::size_t i) {
     ThresholdPoint point;
     point.delta = deltas[i];
-    const RadioPowerParams& radio = config.netmaster.profit.radio;
-    for (const synth::UserProfile& profile : profiles) {
-      const VolunteerTraces traces = make_traces(profile, config);
+    for (std::size_t u = 0; u < profiles.size(); ++u) {
+      const VolunteerTraces& traces = shared.traces[u];
 
       policy::NetMasterConfig nm = config.netmaster;
       nm.predictor.delta_weekday = deltas[i];
@@ -202,14 +243,10 @@ std::vector<ThresholdPoint> threshold_sweep(
       point.accuracy +=
           mining::prediction_accuracy(netmaster.predictor(), traces.eval);
 
-      const policy::BaselinePolicy baseline;
-      const sim::SimReport base =
-          sim::account(traces.eval, baseline.run(traces.eval), radio);
-      const sim::SimReport rep =
-          sim::account(traces.eval, netmaster.run(traces.eval), radio);
-      const policy::OraclePolicy oracle(config.netmaster.profit);
-      const sim::SimReport orep =
-          sim::account(traces.eval, oracle.run(traces.eval), radio);
+      const sim::SimReport& base = shared.baseline[u];
+      const sim::SimReport rep = sim::account(
+          traces.eval, netmaster.run(*shared.index[u]), radio);
+      const sim::SimReport& orep = oracle_reports[u];
 
       const double saving = base.energy_j - rep.energy_j;
       const double oracle_saving = base.energy_j - orep.energy_j;
@@ -239,24 +276,24 @@ std::vector<AblationRow> ablation_study(
       {"no-special-apps", true, true, false},
   };
 
+  const SharedProfiles shared = prepare_shared(profiles, config);
+  const RadioPowerParams& radio = config.netmaster.profit.radio;
+
   std::vector<AblationRow> rows(std::size(variants));
   parallel_for(std::size(variants), [&](std::size_t v) {
     const Variant& variant = variants[v];
     AblationRow row;
     row.variant = variant.name;
-    const RadioPowerParams& radio = config.netmaster.profit.radio;
-    for (const synth::UserProfile& profile : profiles) {
-      const VolunteerTraces traces = make_traces(profile, config);
+    for (std::size_t u = 0; u < profiles.size(); ++u) {
+      const VolunteerTraces& traces = shared.traces[u];
       policy::NetMasterConfig nm = config.netmaster;
       nm.enable_prediction = variant.prediction;
       nm.enable_duty = variant.duty;
       nm.enable_special_apps = variant.special;
       const policy::NetMasterPolicy p(traces.training, nm);
-      const policy::BaselinePolicy baseline;
-      const sim::SimReport base =
-          sim::account(traces.eval, baseline.run(traces.eval), radio);
-      const sim::SimReport rep =
-          sim::account(traces.eval, p.run(traces.eval), radio);
+      const sim::SimReport& base = shared.baseline[u];
+      const sim::SimReport rep = sim::account(
+          traces.eval, p.run(*shared.index[u]), radio);
       if (base.energy_j > 0.0) {
         row.energy_saving += 1.0 - rep.energy_j / base.energy_j;
       }

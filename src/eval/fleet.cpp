@@ -1,0 +1,102 @@
+#include "eval/fleet.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "policy/baseline.hpp"
+#include "policy/delay_batch.hpp"
+#include "policy/netmaster.hpp"
+#include "policy/oracle.hpp"
+
+namespace netmaster::eval {
+
+std::vector<PolicySpec> standard_policy_suite(
+    const policy::NetMasterConfig& config) {
+  std::vector<PolicySpec> suite;
+  suite.push_back({"baseline", [](const UserTrace&) {
+                     return std::make_unique<policy::BaselinePolicy>();
+                   }});
+  suite.push_back({"oracle", [profit = config.profit](const UserTrace&) {
+                     return std::make_unique<policy::OraclePolicy>(profit);
+                   }});
+  suite.push_back({"netmaster", [config](const UserTrace& training) {
+                     return std::make_unique<policy::NetMasterPolicy>(
+                         training, config);
+                   }});
+  for (const double d : {10.0, 20.0, 60.0}) {
+    suite.push_back({"delay&batch-" + std::to_string(static_cast<int>(d)) +
+                         "s",
+                     [d](const UserTrace&) {
+                       return std::make_unique<policy::DelayBatchPolicy>(
+                           seconds(d));
+                     }});
+  }
+  return suite;
+}
+
+FleetReport run_fleet(const std::vector<synth::UserProfile>& profiles,
+                      const std::vector<PolicySpec>& policies,
+                      const ExperimentConfig& config,
+                      unsigned max_threads) {
+  NM_REQUIRE(!policies.empty(), "fleet needs at least one policy");
+  const std::size_t n = profiles.size();
+  const std::size_t m = policies.size();
+  const RadioPowerParams& radio = config.netmaster.profit.radio;
+
+  // ---- Per-user shared state: traces, index, baseline reference. ----
+  // Each user's trace pair is generated once and its evaluation half
+  // indexed once; every policy cell below replays against that index.
+  std::vector<VolunteerTraces> traces(n);
+  std::vector<std::unique_ptr<engine::TraceIndex>> index(n);
+  std::vector<sim::SimReport> baseline(n);
+  parallel_for(n, [&](std::size_t u) {
+    traces[u] = make_traces(profiles[u], config);
+    index[u] = std::make_unique<engine::TraceIndex>(traces[u].eval);
+    const policy::BaselinePolicy base;
+    baseline[u] = sim::account(traces[u].eval, base.run(*index[u]), radio);
+  }, max_threads);
+
+  // ---- The N×M cell grid. ----
+  FleetReport report;
+  report.num_users = n;
+  report.num_policies = m;
+  report.cells.resize(n * m);
+  auto run_cell = [&](std::size_t c) {
+    const std::size_t u = c / m;
+    const std::size_t p = c % m;
+    FleetCell& cell = report.cells[c];
+    cell.user = profiles[u].id;
+    cell.profile_name = profiles[u].name;
+    cell.policy = policies[p].name;
+    const auto pol = policies[p].make(traces[u].training);
+    cell.report = sim::account(traces[u].eval, pol->run(*index[u]), radio);
+    if (baseline[u].energy_j > 0.0) {
+      cell.energy_saving = 1.0 - cell.report.energy_j / baseline[u].energy_j;
+    }
+    if (baseline[u].radio_on_ms > 0) {
+      cell.radio_on_fraction =
+          static_cast<double>(cell.report.radio_on_ms) /
+          static_cast<double>(baseline[u].radio_on_ms);
+    }
+  };
+  parallel_for(n * m, run_cell, max_threads);
+
+  // ---- Per-policy aggregates, folded in fixed user order. ----
+  report.aggregates.resize(m);
+  for (std::size_t p = 0; p < m; ++p) {
+    FleetAggregate& agg = report.aggregates[p];
+    agg.policy = policies[p].name;
+    for (std::size_t u = 0; u < n; ++u) {
+      const FleetCell& cell = report.cell(u, p);
+      agg.energy_saving.add(cell.energy_saving);
+      agg.radio_on_fraction.add(cell.radio_on_fraction);
+      agg.affected_fraction.add(cell.report.affected_fraction);
+      agg.deferral_latency_s.add(cell.report.mean_deferral_latency_s);
+      agg.total_energy_j += cell.report.energy_j;
+    }
+  }
+  return report;
+}
+
+}  // namespace netmaster::eval

@@ -1,0 +1,83 @@
+// Fleet-scale batch evaluation: N users × M policies in one run.
+//
+// The per-figure runners in experiments.hpp each re-derive traces and
+// session state for every policy they touch. FleetRunner is the shared
+// engine underneath a scale-out sweep: every user's evaluation trace is
+// generated and indexed exactly once (engine::TraceIndex), then all M
+// policies replay against that shared index, parallelized over the full
+// N×M cell grid. Results come back both per cell and aggregated per
+// policy across the fleet.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "engine/trace_index.hpp"
+#include "eval/experiments.hpp"
+#include "policy/policy.hpp"
+#include "sim/accounting.hpp"
+#include "synth/profiles.hpp"
+
+namespace netmaster::eval {
+
+/// A named policy factory. NetMaster trains per user, so the factory
+/// receives the user's training trace; stateless policies ignore it.
+/// Invoked once per (user, policy) cell.
+struct PolicySpec {
+  std::string name;
+  std::function<std::unique_ptr<policy::Policy>(const UserTrace& training)>
+      make;
+};
+
+/// The §VI comparison suite: baseline, oracle, NetMaster, and
+/// delay&batch at 10/20/60 s.
+std::vector<PolicySpec> standard_policy_suite(
+    const policy::NetMasterConfig& config);
+
+/// One (user, policy) cell of the fleet grid.
+struct FleetCell {
+  UserId user = 0;
+  std::string profile_name;
+  std::string policy;
+  sim::SimReport report;
+  double energy_saving = 0.0;      ///< 1 − E/E_baseline for this user
+  double radio_on_fraction = 0.0;  ///< radio-on / baseline radio-on
+};
+
+/// One policy's distribution of per-user metrics across the fleet.
+struct FleetAggregate {
+  std::string policy;
+  StreamingStats energy_saving;
+  StreamingStats radio_on_fraction;
+  StreamingStats affected_fraction;
+  StreamingStats deferral_latency_s;  ///< per-user mean latencies
+  double total_energy_j = 0.0;
+};
+
+/// Full N×M result grid plus per-policy aggregates.
+struct FleetReport {
+  std::size_t num_users = 0;
+  std::size_t num_policies = 0;
+  std::vector<FleetCell> cells;           ///< user-major: [u * M + m]
+  std::vector<FleetAggregate> aggregates; ///< one per policy, in order
+
+  const FleetCell& cell(std::size_t user, std::size_t policy) const {
+    return cells[user * num_policies + policy];
+  }
+};
+
+/// Evaluates every policy on every profile. Traces are generated and
+/// indexed once per user and shared across all policies; the N×M cell
+/// grid runs under parallel_for, so results are deterministic in
+/// (profiles, policies, config) regardless of thread count
+/// (`max_threads` = 0 means hardware concurrency).
+FleetReport run_fleet(const std::vector<synth::UserProfile>& profiles,
+                      const std::vector<PolicySpec>& policies,
+                      const ExperimentConfig& config,
+                      unsigned max_threads = 0);
+
+}  // namespace netmaster::eval

@@ -8,54 +8,31 @@
 namespace netmaster::mining {
 
 HabitModel HabitModel::mine(const UserTrace& history) {
-  history.validate();
+  return mine(engine::TraceIndex(history));
+}
+
+HabitModel HabitModel::mine(const engine::TraceIndex& history) {
+  const UserTrace& trace = history.trace();
+  trace.validate();
   HabitModel model;
 
-  // Per-(day, hour) occupancy flags and accumulators.
-  const int days = history.num_days;
-  std::vector<std::array<bool, kHoursPerDay>> used(
-      days, std::array<bool, kHoursPerDay>{});
-  std::vector<std::array<int, kHoursPerDay>> usage_count(
-      days, std::array<int, kHoursPerDay>{});
-  std::vector<std::array<int, kHoursPerDay>> net_count(
-      days, std::array<int, kHoursPerDay>{});
-  std::vector<std::array<double, kHoursPerDay>> net_bytes(
-      days, std::array<double, kHoursPerDay>{});
-  // Eq. 3 counts (app, day) pairs: track which apps were active per
-  // (day, hour) so the denominator m*k is honoured.
-  const std::size_t num_apps = history.app_names.size();
-  std::vector<std::vector<bool>> app_net(
-      days, std::vector<bool>(num_apps * kHoursPerDay, false));
-
-  for (const AppUsage& u : history.usages) {
-    const int d = day_of(u.time);
-    const int h = hour_of(u.time);
-    used[d][h] = true;
-    ++usage_count[d][h];
-  }
-  for (const NetworkActivity& n : history.activities) {
-    if (history.screen_on_at(n.start)) continue;  // screen-off only
-    const int d = day_of(n.start);
-    const int h = hour_of(n.start);
-    ++net_count[d][h];
-    net_bytes[d][h] += static_cast<double>(n.total_bytes());
-    app_net[d][static_cast<std::size_t>(n.app) * kHoursPerDay + h] = true;
-  }
-
+  // The index's per-(day, hour) buckets hold exactly the occupancy
+  // flags and accumulators Eqs. 2–3 need; fold them into the two day
+  // regimes. Eq. 3 counts (app, day) pairs: the bucket's distinct-app
+  // count over the denominator m*k honours that.
+  const int days = trace.num_days;
+  const std::size_t num_apps = trace.app_names.size();
   for (int d = 0; d < days; ++d) {
     auto& s = model.stats_[static_cast<std::size_t>(day_kind(d))];
     ++s.days_observed;
     for (int h = 0; h < kHoursPerDay; ++h) {
-      if (used[d][h]) s.pr_active[h] += 1.0;
-      s.mean_intensity[h] += usage_count[d][h];
-      s.mean_net_count[h] += net_count[d][h];
-      s.mean_net_bytes[h] += net_bytes[d][h];
+      const engine::TraceIndex::HourBucket& bucket = history.bucket(d, h);
+      if (bucket.usage_count > 0) s.pr_active[h] += 1.0;
+      s.mean_intensity[h] += bucket.usage_count;
+      s.mean_net_count[h] += bucket.net_count;
+      s.mean_net_bytes[h] += bucket.net_bytes;
       if (num_apps > 0) {
-        int apps_active = 0;
-        for (std::size_t a = 0; a < num_apps; ++a) {
-          if (app_net[d][a * kHoursPerDay + h]) ++apps_active;
-        }
-        s.pr_net[h] += static_cast<double>(apps_active) /
+        s.pr_net[h] += static_cast<double>(bucket.distinct_net_apps) /
                        static_cast<double>(num_apps);
       }
     }

@@ -20,6 +20,7 @@
 
 #include "common/interval.hpp"
 #include "common/time.hpp"
+#include "engine/trace_index.hpp"
 #include "trace/trace.hpp"
 
 namespace netmaster::mining {
@@ -47,6 +48,11 @@ class HabitModel {
  public:
   /// Mines the full training trace (all its days).
   static HabitModel mine(const UserTrace& history);
+
+  /// Mines from a prebuilt index (the per-hour buckets are exactly the
+  /// statistics Eqs. 2–3 consume); shares the index across consumers
+  /// instead of rescanning the trace.
+  static HabitModel mine(const engine::TraceIndex& history);
 
   const HourStats& stats(DayKind kind) const {
     return stats_[static_cast<std::size_t>(kind)];

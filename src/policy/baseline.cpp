@@ -2,12 +2,14 @@
 
 namespace netmaster::policy {
 
-sim::PolicyOutcome BaselinePolicy::run(const UserTrace& eval) const {
+sim::PolicyOutcome BaselinePolicy::run(
+    const engine::TraceIndex& eval) const {
   sim::PolicyOutcome outcome;
   outcome.policy_name = name();
-  outcome.transfers.reserve(eval.activities.size());
-  for (std::size_t i = 0; i < eval.activities.size(); ++i) {
-    const NetworkActivity& act = eval.activities[i];
+  const std::vector<NetworkActivity>& activities = eval.activities();
+  outcome.transfers.reserve(activities.size());
+  for (std::size_t i = 0; i < activities.size(); ++i) {
+    const NetworkActivity& act = activities[i];
     outcome.transfers.push_back({i, act.start, act.duration});
   }
   return outcome;

@@ -10,8 +10,10 @@ namespace netmaster::policy {
 
 class BaselinePolicy final : public Policy {
  public:
+  using Policy::run;
+
   std::string name() const override { return "baseline"; }
-  sim::PolicyOutcome run(const UserTrace& eval) const override;
+  sim::PolicyOutcome run(const engine::TraceIndex& eval) const override;
 };
 
 }  // namespace netmaster::policy

@@ -14,10 +14,12 @@ std::string BatchPolicy::name() const {
   return os.str();
 }
 
-sim::PolicyOutcome BatchPolicy::run(const UserTrace& eval) const {
+sim::PolicyOutcome BatchPolicy::run(const engine::TraceIndex& eval) const {
   sim::PolicyOutcome outcome;
   outcome.policy_name = name();
-  const TimeMs horizon = eval.trace_end();
+  const TimeMs horizon = eval.horizon();
+  const std::vector<NetworkActivity>& activities = eval.activities();
+  const std::vector<ScreenSession>& sessions = eval.sessions();
 
   struct Pending {
     std::size_t index;
@@ -44,16 +46,16 @@ sim::PolicyOutcome BatchPolicy::run(const UserTrace& eval) const {
 
   // Screen-on edges flush the queue: iterate activities and sessions in
   // time order.
-  auto session = eval.sessions.begin();
+  auto session = sessions.begin();
 
-  for (std::size_t i = 0; i < eval.activities.size(); ++i) {
-    const NetworkActivity& act = eval.activities[i];
+  for (std::size_t i = 0; i < activities.size(); ++i) {
+    const NetworkActivity& act = activities[i];
     // Flush at any screen-on edge preceding this activity.
-    while (session != eval.sessions.end() && session->begin <= act.start) {
+    while (session != sessions.end() && session->begin <= act.start) {
       flush(session->begin);
       ++session;
     }
-    if (!is_deferrable_screen_off(eval, act) || max_batch_ <= 1) {
+    if (!eval.is_deferrable_screen_off(i) || max_batch_ <= 1) {
       outcome.transfers.push_back({i, act.start, act.duration});
       continue;
     }
@@ -64,7 +66,7 @@ sim::PolicyOutcome BatchPolicy::run(const UserTrace& eval) const {
   // horizon.
   if (!queue.empty()) {
     const TimeMs flush_at =
-        session != eval.sessions.end() ? session->begin : horizon;
+        session != sessions.end() ? session->begin : horizon;
     flush(flush_at);
   }
   return outcome;

@@ -15,8 +15,10 @@ class BatchPolicy final : public Policy {
  public:
   explicit BatchPolicy(std::size_t max_batch);
 
+  using Policy::run;
+
   std::string name() const override;
-  sim::PolicyOutcome run(const UserTrace& eval) const override;
+  sim::PolicyOutcome run(const engine::TraceIndex& eval) const override;
 
   std::size_t max_batch() const { return max_batch_; }
 

@@ -17,14 +17,15 @@ std::string DelayPolicy::name() const {
   return os.str();
 }
 
-sim::PolicyOutcome DelayPolicy::run(const UserTrace& eval) const {
+sim::PolicyOutcome DelayPolicy::run(const engine::TraceIndex& eval) const {
   sim::PolicyOutcome outcome;
   outcome.policy_name = name();
-  const TimeMs horizon = eval.trace_end();
+  const TimeMs horizon = eval.horizon();
+  const std::vector<NetworkActivity>& activities = eval.activities();
 
-  for (std::size_t i = 0; i < eval.activities.size(); ++i) {
-    const NetworkActivity& act = eval.activities[i];
-    if (!is_deferrable_screen_off(eval, act)) {
+  for (std::size_t i = 0; i < activities.size(); ++i) {
+    const NetworkActivity& act = activities[i];
+    if (!eval.is_deferrable_screen_off(i)) {
       outcome.transfers.push_back({i, act.start, act.duration});
       continue;
     }

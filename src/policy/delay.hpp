@@ -14,8 +14,10 @@ class DelayPolicy final : public Policy {
  public:
   explicit DelayPolicy(DurationMs interval_ms);
 
+  using Policy::run;
+
   std::string name() const override;
-  sim::PolicyOutcome run(const UserTrace& eval) const override;
+  sim::PolicyOutcome run(const engine::TraceIndex& eval) const override;
 
   DurationMs interval_ms() const { return interval_ms_; }
 

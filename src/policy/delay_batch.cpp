@@ -19,10 +19,13 @@ std::string DelayBatchPolicy::name() const {
   return os.str();
 }
 
-sim::PolicyOutcome DelayBatchPolicy::run(const UserTrace& eval) const {
+sim::PolicyOutcome DelayBatchPolicy::run(
+    const engine::TraceIndex& eval) const {
   sim::PolicyOutcome outcome;
   outcome.policy_name = name();
-  const TimeMs horizon = eval.trace_end();
+  const TimeMs horizon = eval.horizon();
+  const std::vector<NetworkActivity>& activities = eval.activities();
+  const std::vector<ScreenSession>& sessions = eval.sessions();
 
   struct Pending {
     std::size_t index;
@@ -50,24 +53,24 @@ sim::PolicyOutcome DelayBatchPolicy::run(const UserTrace& eval) const {
   // Deadline of the oldest queued entry.
   auto deadline = [&]() { return queue.front().arrival + interval_ms_; };
 
-  auto session = eval.sessions.begin();
-  for (std::size_t i = 0; i < eval.activities.size(); ++i) {
-    const NetworkActivity& act = eval.activities[i];
+  auto session = sessions.begin();
+  for (std::size_t i = 0; i < activities.size(); ++i) {
+    const NetworkActivity& act = activities[i];
     // Fire any timer/screen trigger preceding this activity.
     while (!queue.empty()) {
       const TimeMs timer = deadline();
       const TimeMs screen =
-          session != eval.sessions.end() ? session->begin : horizon;
+          session != sessions.end() ? session->begin : horizon;
       const TimeMs trigger = std::min(timer, screen);
       if (trigger > act.start) break;
       flush(trigger);
-      if (screen == trigger && session != eval.sessions.end()) ++session;
+      if (screen == trigger && session != sessions.end()) ++session;
     }
     // Keep the session cursor moving even with an empty queue.
-    while (session != eval.sessions.end() && session->begin <= act.start) {
+    while (session != sessions.end() && session->begin <= act.start) {
       ++session;
     }
-    if (!is_deferrable_screen_off(eval, act)) {
+    if (!eval.is_deferrable_screen_off(i)) {
       outcome.transfers.push_back({i, act.start, act.duration});
       continue;
     }
@@ -76,9 +79,9 @@ sim::PolicyOutcome DelayBatchPolicy::run(const UserTrace& eval) const {
   while (!queue.empty()) {
     const TimeMs timer = deadline();
     const TimeMs screen =
-        session != eval.sessions.end() ? session->begin : horizon;
+        session != sessions.end() ? session->begin : horizon;
     flush(std::min({timer, screen, horizon}));
-    if (session != eval.sessions.end() && screen <= timer) ++session;
+    if (session != sessions.end() && screen <= timer) ++session;
   }
   return outcome;
 }

@@ -5,38 +5,12 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "engine/radio_timeline.hpp"
 #include "sched/overlap.hpp"
 
 namespace netmaster::policy {
 
 namespace {
-
-/// First actual screen session beginning at or after t; end() iterator
-/// when none.
-std::vector<ScreenSession>::const_iterator next_session_from(
-    const UserTrace& trace, TimeMs t) {
-  return std::lower_bound(
-      trace.sessions.begin(), trace.sessions.end(), t,
-      [](const ScreenSession& s, TimeMs v) { return s.begin < v; });
-}
-
-/// Begin of the last session starting inside [lo, hi); -1 when none.
-TimeMs last_session_begin_in(const UserTrace& trace, TimeMs lo, TimeMs hi) {
-  auto it = next_session_from(trace, hi);
-  if (it == trace.sessions.begin()) return -1;
-  --it;
-  return it->begin >= lo ? it->begin : -1;
-}
-
-/// Fills the radio-allowed set with per-transfer dormancy-grace windows
-/// (the transfers themselves are added by the accountant).
-sim::PolicyOutcome finalize(sim::PolicyOutcome outcome, TimeMs horizon) {
-  for (const sim::ExecutedTransfer& t : outcome.transfers) {
-    outcome.radio_allowed->add(
-        t.start, std::min(t.start + t.duration + kDormancyGraceMs, horizon));
-  }
-  return outcome;
-}
 
 /// Releases a fallback activity at the radio opportunity `at` (never
 /// before its arrival, always inside the horizon).
@@ -67,40 +41,43 @@ NetMasterPolicy::NetMasterPolicy(const UserTrace& training,
              "eps must be in (0, 1)");
 }
 
-sim::PolicyOutcome NetMasterPolicy::run(const UserTrace& eval) const {
+sim::PolicyOutcome NetMasterPolicy::run(
+    const engine::TraceIndex& eval) const {
   sim::PolicyOutcome outcome;
   outcome.policy_name = name();
-  const TimeMs horizon = eval.trace_end();
+  const TimeMs horizon = eval.horizon();
+  const std::vector<ScreenSession>& sessions = eval.sessions();
+  const std::vector<NetworkActivity>& activities = eval.activities();
+  const std::size_t num_sessions = sessions.size();
 
   // NetMaster drives the data switch ("turns off radio whenever
   // necessary", §VI-A): after each transfer the radio keeps a short
   // dormancy grace, then the real-time adjustment forces it down —
-  // during screen-off time *and* inside user active slots. The allowed
-  // set is filled with per-transfer grace windows at the end of run();
-  // the accountant adds the transfers and duty probes themselves.
-  outcome.radio_allowed = IntervalSet{};
+  // during screen-off time *and* inside user active slots. The timeline
+  // collects the allowed windows (slots when slot-powered, per-transfer
+  // grace at the end of run()); the accountant adds the transfers and
+  // duty probes themselves.
+  engine::RadioTimeline timeline(horizon);
 
   // ---- Prediction: the user-active slot set U over the horizon. ----
   IntervalSet active;
   if (config_.enable_prediction) {
-    for (int day = 0; day < eval.num_days; ++day) {
+    for (int day = 0; day < eval.trace().num_days; ++day) {
       active.add(predictor_.predict_day(day).active_slots);
     }
   }
   const std::vector<Interval>& slot_windows = active.intervals();
-  if (config_.slot_powered_radio) {
-    for (const Interval& w : slot_windows) outcome.radio_allowed->add(w);
-  }
+  if (config_.slot_powered_radio) timeline.allow_windows(slot_windows);
 
   // ---- Classification pass. ----
   // Deferrable screen-off activities are held for a real radio-on
   // opportunity; everything else runs untouched.
   std::vector<NetworkActivity> pending;     // outside U: knapsack path
   std::vector<std::size_t> pending_index;   // -> eval activity index
-  for (std::size_t i = 0; i < eval.activities.size(); ++i) {
-    const NetworkActivity& act = eval.activities[i];
+  for (std::size_t i = 0; i < activities.size(); ++i) {
+    const NetworkActivity& act = activities[i];
     const bool in_slot = active.contains(act.start);
-    if (is_deferrable_screen_off(eval, act)) {
+    if (eval.is_deferrable_screen_off(i)) {
       if (!in_slot) {
         pending.push_back(act);
         pending_index.push_back(i);
@@ -115,8 +92,7 @@ sim::PolicyOutcome NetMasterPolicy::run(const UserTrace& eval) const {
       // Inside a predicted active slot: the user is expected soon. Hold
       // the transfer for the next real session; if the user never shows
       // before the slot closes, run at the slot boundary.
-      const auto sess = next_session_from(eval, act.start);
-      TimeMs release = sess != eval.sessions.end() ? sess->begin : horizon;
+      TimeMs release = eval.next_session_begin(act.start, horizon);
       const auto slot = std::lower_bound(
           slot_windows.begin(), slot_windows.end(), act.start,
           [](const Interval& s, TimeMs t) { return s.end <= t; });
@@ -177,7 +153,7 @@ sim::PolicyOutcome NetMasterPolicy::run(const UserTrace& eval) const {
       // while the user is active, during a real session late in the
       // slot; if the user never appeared, at the slot boundary.
       const TimeMs sess_begin =
-          last_session_begin_in(eval, slot.begin, slot.end);
+          eval.last_session_begin_in(slot.begin, slot.end);
       release = sess_begin >= 0
                     ? sess_begin
                     : std::max(slot.begin, slot.end - dur);
@@ -189,9 +165,9 @@ sim::PolicyOutcome NetMasterPolicy::run(const UserTrace& eval) const {
     // after the arrival (the real-time adjustment powers the radio for
     // any session, even one before the slot). If no session shows up by
     // the slot's end, run at the planned slot begin.
-    const auto sess = next_session_from(eval, act.start);
-    if (sess != eval.sessions.end() && sess->begin <= slot.end) {
-      release = sess->begin;
+    const std::size_t sess = eval.first_session_at_or_after(act.start);
+    if (sess < num_sessions && sessions[sess].begin <= slot.end) {
+      release = sessions[sess].begin;
     } else {
       release = slot.begin;
     }
@@ -216,6 +192,12 @@ sim::PolicyOutcome NetMasterPolicy::run(const UserTrace& eval) const {
               return pending[a].start < pending[b].start;
             });
 
+  auto finalize = [&]() {
+    timeline.allow_transfers(outcome.transfers, kDormancyGraceMs);
+    outcome.radio_allowed = std::move(timeline).build();
+    return std::move(outcome);
+  };
+
   if (!config_.enable_duty) {
     // Ablation: no probes; fall back to the next predicted slot or real
     // session, else run in place.
@@ -226,14 +208,12 @@ sim::PolicyOutcome NetMasterPolicy::run(const UserTrace& eval) const {
           slot_windows.begin(), slot_windows.end(), act.start,
           [](TimeMs t, const Interval& s) { return t < s.begin; });
       if (after != slot_windows.end()) release = after->begin;
-      const auto sess = next_session_from(eval, act.start);
-      if (sess != eval.sessions.end() && sess->begin < release) {
-        release = sess->begin;
-      }
+      const TimeMs sess_begin = eval.next_session_begin(act.start, horizon);
+      if (sess_begin < release) release = sess_begin;
       release_fallback(outcome, pending, pending_index, p, release,
                        horizon);
     }
-    return finalize(std::move(outcome), horizon);
+    return finalize();
   }
 
   auto next_fb = fallback.begin();
@@ -241,13 +221,13 @@ sim::PolicyOutcome NetMasterPolicy::run(const UserTrace& eval) const {
   for (const Interval& window : inactive.intervals()) {
     duty::DutyCycler cycler(config_.duty);
     cycler.reset(window.begin);
-    auto sess = next_session_from(eval, window.begin);
+    std::size_t sess = eval.first_session_at_or_after(window.begin);
 
     while (true) {
       const TimeMs wake = cycler.next_wake();
       const TimeMs sess_begin =
-          (sess != eval.sessions.end() && sess->begin < window.end)
-              ? sess->begin
+          (sess < num_sessions && sessions[sess].begin < window.end)
+              ? sessions[sess].begin
               : window.end;
       if (sess_begin <= wake) {
         if (sess_begin >= window.end) break;
@@ -259,7 +239,7 @@ sim::PolicyOutcome NetMasterPolicy::run(const UserTrace& eval) const {
                            sess_begin, horizon);
           ++next_fb;
         }
-        cycler.notify_activity(sess->end);
+        cycler.notify_activity(sessions[sess].end);
         ++sess;
         continue;
       }
@@ -301,7 +281,7 @@ sim::PolicyOutcome NetMasterPolicy::run(const UserTrace& eval) const {
         {pending_index[*next_fb], act.start, act.duration});
   }
 
-  return finalize(std::move(outcome), horizon);
+  return finalize();
 }
 
 }  // namespace netmaster::policy

@@ -64,8 +64,10 @@ class NetMasterPolicy final : public Policy {
   /// days so Eq. 2's weekday/weekend split stays valid).
   NetMasterPolicy(const UserTrace& training, NetMasterConfig config);
 
+  using Policy::run;
+
   std::string name() const override { return "netmaster"; }
-  sim::PolicyOutcome run(const UserTrace& eval) const override;
+  sim::PolicyOutcome run(const engine::TraceIndex& eval) const override;
 
   const mining::SlotPredictor& predictor() const { return predictor_; }
   const mining::SpecialApps& special_apps() const { return special_; }

@@ -4,53 +4,47 @@
 #include <cmath>
 #include <vector>
 
+#include "engine/radio_timeline.hpp"
+
 namespace netmaster::policy {
 
 OraclePolicy::OraclePolicy(sched::ProfitConfig profit)
     : profit_(profit) {}
 
-sim::PolicyOutcome OraclePolicy::run(const UserTrace& eval) const {
+sim::PolicyOutcome OraclePolicy::run(const engine::TraceIndex& eval) const {
   sim::PolicyOutcome outcome;
   outcome.policy_name = name();
-  const TimeMs horizon = eval.trace_end();
-
-  // The oracle drives the data switch perfectly: after each transfer
-  // the radio stays up only for a short dormancy grace (it cannot cut
-  // instantly — release signalling takes a moment), then drops to IDLE.
-  outcome.radio_allowed = IntervalSet{};
+  const TimeMs horizon = eval.horizon();
+  const std::vector<ScreenSession>& sessions = eval.sessions();
+  const std::vector<NetworkActivity>& activities = eval.activities();
 
   // Per-session residual capacity (Eq. 5 over the real sessions).
   std::vector<std::int64_t> residual;
-  residual.reserve(eval.sessions.size());
-  for (const ScreenSession& s : eval.sessions) {
+  residual.reserve(sessions.size());
+  for (const ScreenSession& s : sessions) {
     residual.push_back(
         sched::slot_capacity_bytes(s.interval(), profit_));
   }
 
-  for (std::size_t i = 0; i < eval.activities.size(); ++i) {
-    const NetworkActivity& act = eval.activities[i];
-    if (!is_deferrable_screen_off(eval, act) || eval.sessions.empty()) {
+  for (std::size_t i = 0; i < activities.size(); ++i) {
+    const NetworkActivity& act = activities[i];
+    if (!eval.is_deferrable_screen_off(i) || sessions.empty()) {
       outcome.transfers.push_back({i, act.start, act.duration});
       continue;
     }
 
     // Nearest sessions before/after the arrival.
-    const auto after = std::lower_bound(
-        eval.sessions.begin(), eval.sessions.end(), act.start,
-        [](const ScreenSession& s, TimeMs t) { return s.begin < t; });
+    const std::size_t after = eval.first_session_at_or_after(act.start);
     const std::ptrdiff_t next_idx =
-        after == eval.sessions.end()
-            ? -1
-            : after - eval.sessions.begin();
+        after == sessions.size() ? -1 : static_cast<std::ptrdiff_t>(after);
     const std::ptrdiff_t prev_idx =
-        after == eval.sessions.begin() ? -1
-                                       : after - eval.sessions.begin() - 1;
+        after == 0 ? -1 : static_cast<std::ptrdiff_t>(after) - 1;
 
     // Prefer the session with spare capacity whose anchor is closer.
     std::ptrdiff_t target = -1;
     const std::int64_t bytes = act.total_bytes();
     auto distance = [&](std::ptrdiff_t idx) -> TimeMs {
-      const ScreenSession& s = eval.sessions[static_cast<std::size_t>(idx)];
+      const ScreenSession& s = sessions[static_cast<std::size_t>(idx)];
       return idx == prev_idx ? act.start - s.end : s.begin - act.start;
     };
     for (std::ptrdiff_t idx : {prev_idx, next_idx}) {
@@ -66,8 +60,7 @@ sim::PolicyOutcome OraclePolicy::run(const UserTrace& eval) const {
       continue;
     }
 
-    const ScreenSession& s =
-        eval.sessions[static_cast<std::size_t>(target)];
+    const ScreenSession& s = sessions[static_cast<std::size_t>(target)];
     residual[static_cast<std::size_t>(target)] -= bytes;
     // Place inside the session (at DCH speed): deferred activities at
     // the session start, prefetched ones ending at the session end.
@@ -81,10 +74,12 @@ sim::PolicyOutcome OraclePolicy::run(const UserTrace& eval) const {
         to_seconds(std::max<TimeMs>(release - act.start, 0)));
   }
 
-  for (const sim::ExecutedTransfer& t : outcome.transfers) {
-    outcome.radio_allowed->add(
-        t.start, std::min(t.start + t.duration + kDormancyGraceMs, horizon));
-  }
+  // The oracle drives the data switch perfectly: after each transfer
+  // the radio stays up only for a short dormancy grace (it cannot cut
+  // instantly — release signalling takes a moment), then drops to IDLE.
+  engine::RadioTimeline timeline(horizon);
+  timeline.allow_transfers(outcome.transfers, kDormancyGraceMs);
+  outcome.radio_allowed = std::move(timeline).build();
   return outcome;
 }
 

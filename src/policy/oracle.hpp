@@ -17,8 +17,10 @@ class OraclePolicy final : public Policy {
   /// itself needs no prediction.
   explicit OraclePolicy(sched::ProfitConfig profit = {});
 
+  using Policy::run;
+
   std::string name() const override { return "oracle"; }
-  sim::PolicyOutcome run(const UserTrace& eval) const override;
+  sim::PolicyOutcome run(const engine::TraceIndex& eval) const override;
 
  private:
   sched::ProfitConfig profit_;

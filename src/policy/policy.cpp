@@ -6,6 +6,10 @@
 
 namespace netmaster::policy {
 
+sim::PolicyOutcome Policy::run(const UserTrace& eval) const {
+  return run(engine::TraceIndex(eval));
+}
+
 bool is_deferrable_screen_off(const UserTrace& trace,
                               const NetworkActivity& activity) {
   return activity.deferrable && !trace.screen_on_at(activity.start);

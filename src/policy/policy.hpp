@@ -19,6 +19,7 @@
 #include <memory>
 #include <string>
 
+#include "engine/trace_index.hpp"
 #include "sim/outcome.hpp"
 #include "trace/trace.hpp"
 
@@ -30,9 +31,16 @@ class Policy {
 
   virtual std::string name() const = 0;
 
-  /// Replays `eval` under this policy. The returned outcome executes
-  /// every activity of the trace exactly once within its horizon.
-  virtual sim::PolicyOutcome run(const UserTrace& eval) const = 0;
+  /// Replays the indexed eval trace under this policy. The returned
+  /// outcome executes every activity of the trace exactly once within
+  /// its horizon. The index is shared, read-only state: fleet-scale
+  /// callers build one TraceIndex per user and replay every policy
+  /// against it.
+  virtual sim::PolicyOutcome run(const engine::TraceIndex& eval) const = 0;
+
+  /// One-shot convenience: indexes `eval` and replays it. Concrete
+  /// policies re-expose this overload with `using Policy::run;`.
+  sim::PolicyOutcome run(const UserTrace& eval) const;
 };
 
 /// True when the activity is fair game for deferral: a deferrable

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "duty/duty_cycle.hpp"
+#include "engine/radio_timeline.hpp"
 #include "mining/habits.hpp"
 #include "mining/special_apps.hpp"
 #include "policy/policy.hpp"
@@ -47,8 +48,15 @@ struct PendingTransfer {
 OnlineSimResult run_online(const UserTrace& training,
                            const UserTrace& eval,
                            const policy::NetMasterConfig& config) {
+  return run_online(training, engine::TraceIndex(eval), config);
+}
+
+OnlineSimResult run_online(const UserTrace& training,
+                           const engine::TraceIndex& index,
+                           const policy::NetMasterConfig& config) {
+  const UserTrace& eval = index.trace();
   eval.validate();
-  const TimeMs horizon = eval.trace_end();
+  const TimeMs horizon = index.horizon();
 
   // ---- Mined state (the §V mining broadcast). ----
   const mining::SlotPredictor predictor(mining::HabitModel::mine(training),
@@ -85,11 +93,11 @@ OnlineSimResult run_online(const UserTrace& training,
     return config.enable_prediction && today_slots.contains(t);
   };
 
-  auto execute = [&](std::size_t index, TimeMs at, DurationMs duration,
+  auto execute = [&](std::size_t activity, TimeMs at, DurationMs duration,
                      TimeMs arrival) {
     const TimeMs release = std::clamp<TimeMs>(
         std::max(at, arrival), arrival, horizon - duration);
-    out.transfers.push_back({index, release, duration});
+    out.transfers.push_back({activity, release, duration});
     if (release > arrival) {
       out.deferral_latency_s.push_back(to_seconds(release - arrival));
     }
@@ -150,7 +158,10 @@ OnlineSimResult run_online(const UserTrace& training,
 
       case EventKind::kArrival: {
         const NetworkActivity& act = eval.activities[ev.index];
-        if (!act.deferrable || screen_on) {
+        // The precomputed classification agrees with the event-loop
+        // screen state: screen edges sort before same-time arrivals, so
+        // `screen_on` here equals screen_on_at(act.start).
+        if (!index.is_deferrable_screen_off(ev.index)) {
           execute(ev.index, act.start, act.duration, act.start);
           // Wrong-decision check (§VI-B): user-driven traffic outside
           // predicted slots finds the radio down unless the app is
@@ -205,12 +216,9 @@ OnlineSimResult run_online(const UserTrace& training,
   release_all_pending(horizon);
 
   // Dormancy-grace windows for the data switch, as in the policy path.
-  for (const sim::ExecutedTransfer& t : out.transfers) {
-    out.radio_allowed->add(
-        t.start,
-        std::min<TimeMs>(t.start + t.duration + policy::kDormancyGraceMs,
-                         horizon));
-  }
+  engine::RadioTimeline timeline(horizon);
+  timeline.allow_transfers(out.transfers, policy::kDormancyGraceMs);
+  out.radio_allowed = std::move(timeline).build();
   return result;
 }
 

@@ -15,6 +15,7 @@
 
 #include <cstddef>
 
+#include "engine/trace_index.hpp"
 #include "policy/netmaster.hpp"
 #include "sim/outcome.hpp"
 #include "trace/trace.hpp"
@@ -27,7 +28,14 @@ struct OnlineSimResult {
   std::size_t radio_switches = 0;  ///< svc data enable/disable calls
 };
 
-/// Trains on `training`, then replays `eval` through the event loop.
+/// Trains on `training`, then replays the indexed eval trace through
+/// the event loop. Fleet-scale callers share the index with the policy
+/// path.
+OnlineSimResult run_online(const UserTrace& training,
+                           const engine::TraceIndex& eval,
+                           const policy::NetMasterConfig& config);
+
+/// One-shot convenience: indexes `eval` and replays it.
 OnlineSimResult run_online(const UserTrace& training,
                            const UserTrace& eval,
                            const policy::NetMasterConfig& config);

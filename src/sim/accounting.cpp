@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "engine/radio_timeline.hpp"
 
 namespace netmaster::sim {
 
@@ -37,11 +38,13 @@ SimReport account(const UserTrace& eval, const PolicyOutcome& outcome,
   // RRC energy over the executed schedule, under the policy's data
   // switch when it drives one.
   if (outcome.radio_allowed.has_value()) {
-    IntervalSet allowed = *outcome.radio_allowed;
-    allowed.add(executed);
-    for (const duty::WakeEvent& w : outcome.wakes) {
-      allowed.add(w.time, w.time + w.window);
-    }
+    // One canonical allowed-set construction: the policy's extra
+    // windows, the executed transfers themselves, and the duty probes.
+    engine::RadioTimeline timeline(report.horizon_ms);
+    timeline.allow(*outcome.radio_allowed);
+    timeline.allow(executed);
+    timeline.allow_wakes(outcome.wakes);
+    const IntervalSet allowed = std::move(timeline).build();
     report.radio =
         account_transfers(executed, params, report.horizon_ms, &allowed);
   } else {

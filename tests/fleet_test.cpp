@@ -1,0 +1,120 @@
+// Tests for eval::run_fleet: grid shape and addressing, aggregate
+// consistency with the cells, agreement with the per-volunteer
+// comparison path, and thread-count determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "eval/fleet.hpp"
+#include "synth/presets.hpp"
+
+namespace netmaster::eval {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg;
+  cfg.train_days = 7;
+  cfg.eval_days = 3;
+  cfg.seed = 42;
+  return cfg;
+}
+
+std::vector<synth::UserProfile> small_fleet() {
+  return {synth::make_user(synth::Archetype::kOfficeWorker, 1),
+          synth::make_user(synth::Archetype::kNightOwl, 2),
+          synth::make_user(synth::Archetype::kLightUser, 3)};
+}
+
+TEST(Fleet, GridShapeAndBaselineReference) {
+  const ExperimentConfig cfg = small_config();
+  const auto suite = standard_policy_suite(cfg.netmaster);
+  const FleetReport report = run_fleet(small_fleet(), suite, cfg);
+
+  ASSERT_EQ(report.num_users, 3u);
+  ASSERT_EQ(report.num_policies, suite.size());
+  ASSERT_EQ(report.cells.size(), report.num_users * report.num_policies);
+  ASSERT_EQ(report.aggregates.size(), suite.size());
+
+  for (std::size_t u = 0; u < report.num_users; ++u) {
+    for (std::size_t p = 0; p < report.num_policies; ++p) {
+      const FleetCell& cell = report.cell(u, p);
+      EXPECT_EQ(cell.policy, suite[p].name);
+      EXPECT_GT(cell.report.energy_j, 0.0);
+    }
+    // Policy 0 is the baseline: saving 0 against itself, radio-on
+    // fraction exactly 1.
+    const FleetCell& base = report.cell(u, 0);
+    EXPECT_DOUBLE_EQ(base.energy_saving, 0.0);
+    EXPECT_DOUBLE_EQ(base.radio_on_fraction, 1.0);
+  }
+}
+
+TEST(Fleet, AggregatesFoldTheCells) {
+  const ExperimentConfig cfg = small_config();
+  const auto suite = standard_policy_suite(cfg.netmaster);
+  const FleetReport report = run_fleet(small_fleet(), suite, cfg);
+
+  for (std::size_t p = 0; p < report.num_policies; ++p) {
+    const FleetAggregate& agg = report.aggregates[p];
+    EXPECT_EQ(agg.policy, suite[p].name);
+    EXPECT_EQ(agg.energy_saving.count(), report.num_users);
+    double saving_sum = 0.0;
+    double energy_sum = 0.0;
+    for (std::size_t u = 0; u < report.num_users; ++u) {
+      saving_sum += report.cell(u, p).energy_saving;
+      energy_sum += report.cell(u, p).report.energy_j;
+    }
+    EXPECT_NEAR(agg.energy_saving.mean(),
+                saving_sum / static_cast<double>(report.num_users), 1e-12);
+    EXPECT_NEAR(agg.total_energy_j, energy_sum, 1e-9);
+  }
+}
+
+TEST(Fleet, MatchesPerVolunteerComparison) {
+  const ExperimentConfig cfg = small_config();
+  const auto suite = standard_policy_suite(cfg.netmaster);
+  const auto users = small_fleet();
+  const FleetReport report = run_fleet(users, suite, cfg);
+
+  // compare_policies runs the same suite in the same order (baseline,
+  // oracle, netmaster, delay&batch 10/20/60) on the same traces.
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    const VolunteerComparison comparison = compare_policies(users[u], cfg);
+    ASSERT_EQ(comparison.rows.size(), suite.size());
+    for (std::size_t p = 0; p < suite.size(); ++p) {
+      EXPECT_DOUBLE_EQ(report.cell(u, p).report.energy_j,
+                       comparison.rows[p].report.energy_j)
+          << users[u].name << " / " << suite[p].name;
+      EXPECT_DOUBLE_EQ(report.cell(u, p).energy_saving,
+                       comparison.rows[p].energy_saving);
+    }
+  }
+}
+
+TEST(Fleet, DeterministicAcrossThreadCounts) {
+  const ExperimentConfig cfg = small_config();
+  const auto suite = standard_policy_suite(cfg.netmaster);
+  const auto users = small_fleet();
+  const FleetReport serial = run_fleet(users, suite, cfg, 1);
+  const FleetReport threaded = run_fleet(users, suite, cfg, 4);
+
+  ASSERT_EQ(serial.cells.size(), threaded.cells.size());
+  for (std::size_t c = 0; c < serial.cells.size(); ++c) {
+    EXPECT_EQ(serial.cells[c].policy, threaded.cells[c].policy);
+    EXPECT_EQ(serial.cells[c].report.energy_j,
+              threaded.cells[c].report.energy_j);
+    EXPECT_EQ(serial.cells[c].report.radio_on_ms,
+              threaded.cells[c].report.radio_on_ms);
+    EXPECT_EQ(serial.cells[c].energy_saving,
+              threaded.cells[c].energy_saving);
+  }
+}
+
+TEST(Fleet, RejectsEmptyPolicySuite) {
+  const ExperimentConfig cfg = small_config();
+  EXPECT_THROW(run_fleet(small_fleet(), {}, cfg), Error);
+}
+
+}  // namespace
+}  // namespace netmaster::eval

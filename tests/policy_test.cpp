@@ -68,6 +68,21 @@ TEST(Helpers, ClampRelease) {
   EXPECT_THROW(clamp_release(0, -1, 1000, 0), Error);
 }
 
+TEST(Helpers, ClampReleaseEdges) {
+  // A duration longer than the whole horizon can never fit.
+  EXPECT_THROW(clamp_release(0, 2000, 1000, 0), Error);
+  EXPECT_THROW(clamp_release(0, 1001, 1000, 0), Error);
+  // not_before past the horizon leaves no room even for zero work.
+  EXPECT_THROW(clamp_release(0, 0, 1000, 1001), Error);
+  // Exactly at the boundary still fits (half-open horizon arithmetic).
+  EXPECT_EQ(clamp_release(1500, 0, 1000, 1000), 1000);
+  EXPECT_EQ(clamp_release(0, 1000, 1000, 0), 0);
+  // Zero-duration activities clamp into [not_before, horizon].
+  EXPECT_EQ(clamp_release(500, 0, 1000, 200), 500);
+  EXPECT_EQ(clamp_release(2000, 0, 1000, 200), 1000);
+  EXPECT_EQ(clamp_release(-50, 0, 1000, 200), 200);
+}
+
 TEST(Helpers, DeferredDuration) {
   EXPECT_EQ(deferred_duration(6000),
             static_cast<DurationMs>(6000 / kDchSpeedup));

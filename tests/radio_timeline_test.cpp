@@ -1,0 +1,99 @@
+// Tests for engine::RadioTimeline: horizon clamping, the canonical
+// (order-independent) union, and the transfer/wake convenience
+// builders matching the hand-assembled IntervalSets they replaced.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "engine/radio_timeline.hpp"
+
+namespace netmaster::engine {
+namespace {
+
+TEST(RadioTimeline, ClampsWindowsToHorizon) {
+  RadioTimeline timeline(1000);
+  timeline.allow(-100, 50);    // clipped at 0
+  timeline.allow(900, 5000);   // clipped at the horizon
+  timeline.allow(400, 400);    // empty: dropped
+  timeline.allow(300, 200);    // inverted: dropped
+  timeline.allow(2000, 3000);  // fully past the horizon: dropped
+  const IntervalSet set = timeline.build();
+  ASSERT_EQ(set.intervals().size(), 2u);
+  EXPECT_EQ(set.intervals()[0], (Interval{0, 50}));
+  EXPECT_EQ(set.intervals()[1], (Interval{900, 1000}));
+}
+
+TEST(RadioTimeline, UnionIsCanonicalRegardlessOfOrder) {
+  const std::vector<Interval> windows = {
+      {100, 200}, {150, 300}, {300, 400}, {50, 120}};
+  RadioTimeline forward(1000);
+  for (const Interval& w : windows) forward.allow(w);
+  RadioTimeline reverse(1000);
+  for (auto it = windows.rbegin(); it != windows.rend(); ++it) {
+    reverse.allow(*it);
+  }
+  EXPECT_EQ(forward.allowed().intervals(), reverse.allowed().intervals());
+  // Touching/overlapping windows merge into one canonical interval.
+  ASSERT_EQ(forward.allowed().intervals().size(), 1u);
+  EXPECT_EQ(forward.allowed().intervals()[0], (Interval{50, 400}));
+}
+
+TEST(RadioTimeline, TransfersExtendByGrace) {
+  RadioTimeline timeline(10000);
+  const std::vector<sim::ExecutedTransfer> transfers = {
+      {0, 1000, 500},   // -> [1000, 1500 + grace)
+      {1, 8500, 1000},  // -> clipped at the horizon
+  };
+  timeline.allow_transfers(transfers, 3000);
+  const IntervalSet set = timeline.build();
+  ASSERT_EQ(set.intervals().size(), 2u);
+  EXPECT_EQ(set.intervals()[0], (Interval{1000, 4500}));
+  EXPECT_EQ(set.intervals()[1], (Interval{8500, 10000}));
+
+  // Zero grace covers exactly the execution windows.
+  RadioTimeline bare(10000);
+  bare.allow_transfers(transfers);
+  EXPECT_EQ(bare.allowed().intervals()[0], (Interval{1000, 1500}));
+}
+
+TEST(RadioTimeline, WakesCoverProbeWindows) {
+  RadioTimeline timeline(5000);
+  std::vector<duty::WakeEvent> wakes(2);
+  wakes[0].time = 100;
+  wakes[0].window = 50;
+  wakes[1].time = 4990;
+  wakes[1].window = 100;  // clipped at the horizon
+  timeline.allow_wakes(wakes);
+  const IntervalSet set = timeline.build();
+  ASSERT_EQ(set.intervals().size(), 2u);
+  EXPECT_EQ(set.intervals()[0], (Interval{100, 150}));
+  EXPECT_EQ(set.intervals()[1], (Interval{4990, 5000}));
+}
+
+TEST(RadioTimeline, MatchesHandAssembledSet) {
+  // The construction the policies used to do by hand: transfer windows
+  // plus grace, unioned with an existing allowed set.
+  const std::vector<sim::ExecutedTransfer> transfers = {{0, 100, 200},
+                                                        {1, 600, 100}};
+  IntervalSet by_hand;
+  for (const sim::ExecutedTransfer& tr : transfers) {
+    by_hand.add(tr.start, std::min<TimeMs>(tr.start + tr.duration + 300,
+                                           2000));
+  }
+  by_hand.add(1500, 1800);
+
+  RadioTimeline timeline(2000);
+  IntervalSet prior;
+  prior.add(1500, 1800);
+  timeline.allow(prior);
+  timeline.allow_transfers(transfers, 300);
+  EXPECT_EQ(timeline.build().intervals(), by_hand.intervals());
+}
+
+TEST(RadioTimeline, RejectsNegativeHorizon) {
+  EXPECT_THROW(RadioTimeline(-1), Error);
+}
+
+}  // namespace
+}  // namespace netmaster::engine
