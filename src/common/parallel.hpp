@@ -8,16 +8,45 @@
 #include <algorithm>
 #include <cstddef>
 #include <exception>
+#include <limits>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/error.hpp"
+
 namespace netmaster {
+
+/// Failure of one parallel_for task, carrying which index threw and the
+/// original message. The original exception rides along as `cause()` so
+/// callers can still inspect its concrete type.
+class ParallelTaskError : public Error {
+ public:
+  ParallelTaskError(std::size_t index, const std::string& what,
+                    std::exception_ptr cause)
+      : Error("parallel_for task " + std::to_string(index) +
+              " failed: " + what),
+        index_(index),
+        cause_(std::move(cause)) {}
+
+  /// The loop index whose invocation threw.
+  std::size_t index() const { return index_; }
+  /// The exception originally thrown by the task.
+  const std::exception_ptr& cause() const { return cause_; }
+
+ private:
+  std::size_t index_;
+  std::exception_ptr cause_;
+};
 
 /// Invokes fn(i) for every i in [0, count), distributing indices across
 /// up to `max_threads` hardware threads (0 = hardware_concurrency).
-/// fn must be safe to call concurrently for distinct indices. The first
-/// exception thrown by any invocation is rethrown on the caller.
+/// fn must be safe to call concurrently for distinct indices. When
+/// invocations throw, the failure at the lowest index (deterministic in
+/// the input, not in thread timing) is rethrown on the caller as a
+/// ParallelTaskError naming that index; non-std::exception throwables
+/// are rethrown unchanged.
 template <typename Fn>
 void parallel_for(std::size_t count, Fn&& fn,
                   unsigned max_threads = 0) {
@@ -27,22 +56,48 @@ void parallel_for(std::size_t count, Fn&& fn,
   if (hw == 0) hw = 1;
   const std::size_t workers =
       std::min<std::size_t>(hw, count);
+
+  auto wrap_current = [](std::size_t index) -> std::exception_ptr {
+    try {
+      throw;
+    } catch (const std::exception& e) {
+      return std::make_exception_ptr(
+          ParallelTaskError(index, e.what(), std::current_exception()));
+    } catch (...) {
+      return std::current_exception();  // foreign type: pass through
+    }
+  };
+
   if (workers <= 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        std::rethrow_exception(wrap_current(i));
+      }
+    }
     return;
   }
 
   std::mutex error_mutex;
   std::exception_ptr first_error;
+  std::size_t first_error_index = std::numeric_limits<std::size_t>::max();
   std::vector<std::thread> threads;
   threads.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
     threads.emplace_back([&, w] {
-      try {
-        for (std::size_t i = w; i < count; i += workers) fn(i);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+      for (std::size_t i = w; i < count; i += workers) {
+        try {
+          fn(i);
+        } catch (...) {
+          const std::exception_ptr wrapped = wrap_current(i);
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (i < first_error_index) {
+            first_error_index = i;
+            first_error = wrapped;
+          }
+          return;  // this worker stops; others run to completion
+        }
       }
     });
   }

@@ -35,29 +35,48 @@ std::vector<PolicySpec> standard_policy_suite(
   return suite;
 }
 
-FleetReport run_fleet(const std::vector<synth::UserProfile>& profiles,
-                      const std::vector<PolicySpec>& policies,
-                      const ExperimentConfig& config,
-                      unsigned max_threads) {
+namespace {
+
+/// Display identity of one fleet row.
+struct UserLabel {
+  UserId id = 0;
+  std::string profile_name;
+};
+
+/// Shared grid engine. `prep_error[u]` non-empty marks user u as failed
+/// before any policy ran (trace generation or baseline accounting
+/// threw); the whole row is skipped and reported as one failure.
+FleetReport run_fleet_impl(const std::vector<VolunteerTraces>& traces,
+                           const std::vector<UserLabel>& labels,
+                           std::vector<std::string> prep_error,
+                           const std::vector<PolicySpec>& policies,
+                           const ExperimentConfig& config,
+                           unsigned max_threads) {
   NM_REQUIRE(!policies.empty(), "fleet needs at least one policy");
-  const std::size_t n = profiles.size();
+  const std::size_t n = traces.size();
   const std::size_t m = policies.size();
   const RadioPowerParams& radio = config.netmaster.profit.radio;
 
-  // ---- Per-user shared state: traces, index, baseline reference. ----
-  // Each user's trace pair is generated once and its evaluation half
-  // indexed once; every policy cell below replays against that index.
-  std::vector<VolunteerTraces> traces(n);
+  // ---- Per-user shared state: index and baseline reference. Each
+  // user's evaluation trace is indexed once; every policy cell below
+  // replays against that index. A trace the baseline cannot replay
+  // (validation or accounting failure) poisons only its own row. ----
   std::vector<std::unique_ptr<engine::TraceIndex>> index(n);
   std::vector<sim::SimReport> baseline(n);
   parallel_for(n, [&](std::size_t u) {
-    traces[u] = make_traces(profiles[u], config);
-    index[u] = std::make_unique<engine::TraceIndex>(traces[u].eval);
-    const policy::BaselinePolicy base;
-    baseline[u] = sim::account(traces[u].eval, base.run(*index[u]), radio);
+    if (!prep_error[u].empty()) return;
+    try {
+      traces[u].eval.validate();
+      index[u] = std::make_unique<engine::TraceIndex>(traces[u].eval);
+      const policy::BaselinePolicy base;
+      baseline[u] =
+          sim::account(traces[u].eval, base.run(*index[u]), radio);
+    } catch (const std::exception& e) {
+      prep_error[u] = e.what();
+    }
   }, max_threads);
 
-  // ---- The N×M cell grid. ----
+  // ---- The N×M cell grid. A throwing cell fails alone. ----
   FleetReport report;
   report.num_users = n;
   report.num_policies = m;
@@ -66,11 +85,24 @@ FleetReport run_fleet(const std::vector<synth::UserProfile>& profiles,
     const std::size_t u = c / m;
     const std::size_t p = c % m;
     FleetCell& cell = report.cells[c];
-    cell.user = profiles[u].id;
-    cell.profile_name = profiles[u].name;
+    cell.user = labels[u].id;
+    cell.profile_name = labels[u].profile_name;
     cell.policy = policies[p].name;
-    const auto pol = policies[p].make(traces[u].training);
-    cell.report = sim::account(traces[u].eval, pol->run(*index[u]), radio);
+    if (!prep_error[u].empty()) {
+      cell.failed = true;
+      cell.error = prep_error[u];
+      return;
+    }
+    try {
+      const auto pol = policies[p].make(traces[u].training);
+      cell.report =
+          sim::account(traces[u].eval, pol->run(*index[u]), radio);
+    } catch (const std::exception& e) {
+      cell.failed = true;
+      cell.error = e.what();
+      return;
+    }
+    cell.degraded = cell.report.degraded;
     if (baseline[u].energy_j > 0.0) {
       cell.energy_saving = 1.0 - cell.report.energy_j / baseline[u].energy_j;
     }
@@ -82,13 +114,36 @@ FleetReport run_fleet(const std::vector<synth::UserProfile>& profiles,
   };
   parallel_for(n * m, run_cell, max_threads);
 
-  // ---- Per-policy aggregates, folded in fixed user order. ----
+  // ---- Failure ledger, in deterministic (user, policy) order: one
+  // entry per poisoned row, one per individually failed cell. ----
+  for (std::size_t u = 0; u < n; ++u) {
+    if (!prep_error[u].empty()) {
+      report.failures.push_back(
+          {labels[u].id, labels[u].profile_name, "", prep_error[u]});
+      continue;
+    }
+    for (std::size_t p = 0; p < m; ++p) {
+      const FleetCell& cell = report.cell(u, p);
+      if (cell.failed) {
+        report.failures.push_back(
+            {cell.user, cell.profile_name, cell.policy, cell.error});
+      }
+    }
+  }
+
+  // ---- Per-policy aggregates, folded in fixed user order. Failed
+  // cells are counted, not averaged. ----
   report.aggregates.resize(m);
   for (std::size_t p = 0; p < m; ++p) {
     FleetAggregate& agg = report.aggregates[p];
     agg.policy = policies[p].name;
     for (std::size_t u = 0; u < n; ++u) {
       const FleetCell& cell = report.cell(u, p);
+      if (cell.failed) {
+        ++agg.failed_cells;
+        continue;
+      }
+      if (cell.degraded) ++agg.degraded_cells;
       agg.energy_saving.add(cell.energy_saving);
       agg.radio_on_fraction.add(cell.radio_on_fraction);
       agg.affected_fraction.add(cell.report.affected_fraction);
@@ -97,6 +152,42 @@ FleetReport run_fleet(const std::vector<synth::UserProfile>& profiles,
     }
   }
   return report;
+}
+
+}  // namespace
+
+FleetReport run_fleet(const std::vector<synth::UserProfile>& profiles,
+                      const std::vector<PolicySpec>& policies,
+                      const ExperimentConfig& config,
+                      unsigned max_threads) {
+  const std::size_t n = profiles.size();
+  std::vector<VolunteerTraces> traces(n);
+  std::vector<UserLabel> labels(n);
+  std::vector<std::string> prep_error(n);
+  parallel_for(n, [&](std::size_t u) {
+    labels[u] = {profiles[u].id, profiles[u].name};
+    try {
+      traces[u] = make_traces(profiles[u], config);
+    } catch (const std::exception& e) {
+      prep_error[u] = e.what();
+    }
+  }, max_threads);
+  return run_fleet_impl(traces, labels, std::move(prep_error), policies,
+                        config, max_threads);
+}
+
+FleetReport run_fleet(const std::vector<VolunteerTraces>& volunteers,
+                      const std::vector<PolicySpec>& policies,
+                      const ExperimentConfig& config,
+                      unsigned max_threads) {
+  const std::size_t n = volunteers.size();
+  std::vector<UserLabel> labels(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    labels[u] = {volunteers[u].eval.user, "volunteer"};
+  }
+  return run_fleet_impl(volunteers, labels,
+                        std::vector<std::string>(n), policies, config,
+                        max_threads);
 }
 
 }  // namespace netmaster::eval

@@ -46,9 +46,24 @@ struct FleetCell {
   sim::SimReport report;
   double energy_saving = 0.0;      ///< 1 − E/E_baseline for this user
   double radio_on_fraction = 0.0;  ///< radio-on / baseline radio-on
+  bool failed = false;             ///< this cell threw; report is empty
+  bool degraded = false;           ///< policy took its fallback path
+  std::string error;               ///< what() of the failure, if any
+};
+
+/// One isolated failure inside a fleet run. A failure during per-user
+/// preparation (poisoned trace, failing baseline) produces one entry
+/// with an empty `policy` covering the whole row; a failure inside a
+/// single (user, policy) cell names the policy.
+struct FleetFailure {
+  UserId user = 0;
+  std::string profile_name;
+  std::string policy;  ///< empty = the whole user row failed in prep
+  std::string error;
 };
 
 /// One policy's distribution of per-user metrics across the fleet.
+/// Failed cells are excluded from the statistics and counted instead.
 struct FleetAggregate {
   std::string policy;
   StreamingStats energy_saving;
@@ -56,6 +71,8 @@ struct FleetAggregate {
   StreamingStats affected_fraction;
   StreamingStats deferral_latency_s;  ///< per-user mean latencies
   double total_energy_j = 0.0;
+  std::size_t failed_cells = 0;    ///< cells excluded from the stats
+  std::size_t degraded_cells = 0;  ///< cells served by a fallback path
 };
 
 /// Full N×M result grid plus per-policy aggregates.
@@ -64,6 +81,10 @@ struct FleetReport {
   std::size_t num_policies = 0;
   std::vector<FleetCell> cells;           ///< user-major: [u * M + m]
   std::vector<FleetAggregate> aggregates; ///< one per policy, in order
+  /// Isolated failures, in deterministic (user, policy) order. Empty on
+  /// a healthy run. One user's poisoned trace never aborts the other
+  /// N−1 users — it lands here instead.
+  std::vector<FleetFailure> failures;
 
   const FleetCell& cell(std::size_t user, std::size_t policy) const {
     return cells[user * num_policies + policy];
@@ -74,8 +95,19 @@ struct FleetReport {
 /// indexed once per user and shared across all policies; the N×M cell
 /// grid runs under parallel_for, so results are deterministic in
 /// (profiles, policies, config) regardless of thread count
-/// (`max_threads` = 0 means hardware concurrency).
+/// (`max_threads` = 0 means hardware concurrency). Per-user errors are
+/// isolated into FleetReport::failures; the run itself never throws on
+/// bad user data.
 FleetReport run_fleet(const std::vector<synth::UserProfile>& profiles,
+                      const std::vector<PolicySpec>& policies,
+                      const ExperimentConfig& config,
+                      unsigned max_threads = 0);
+
+/// Same grid over pre-built trace pairs — the entry point for replaying
+/// recorded (possibly corrupted) volunteer data instead of synthesizing
+/// from profiles. Each user's traces are consumed as-is; a trace that
+/// cannot be evaluated fails only its own row.
+FleetReport run_fleet(const std::vector<VolunteerTraces>& volunteers,
                       const std::vector<PolicySpec>& policies,
                       const ExperimentConfig& config,
                       unsigned max_threads = 0);

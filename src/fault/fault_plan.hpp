@@ -1,0 +1,76 @@
+// Declarative fault plans for chaos runs (the robustness spine).
+//
+// A FaultPlan names the perturbations to apply to a clean trace at the
+// record/trace boundary — the corruption classes a production
+// monitoring pipeline actually sees: lost and duplicated records,
+// out-of-order delivery, scrambled fields, clock skew, byte-counter
+// resets, unpaired screen edges, and truncated history. Every plan is
+// driven by one explicit seed, so a chaos run is exactly as
+// reproducible as any other experiment in this library.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace netmaster::fault {
+
+/// The fault taxonomy. Each kind perturbs one failure surface of the
+/// monitoring -> mining -> policy pipeline.
+enum class FaultKind {
+  kDropRecord = 0,     ///< monitoring records lost before the store
+  kDuplicateRecord,    ///< records delivered twice
+  kReorderRecords,     ///< neighbouring events swap timestamps
+  kFieldCorruption,    ///< numeric fields scrambled (app ids, bytes, …)
+  kClockSkew,          ///< a segment of the trace shifts in time
+  kCounterReset,       ///< byte counters wrap: negative deltas
+  kMissingScreenEdge,  ///< screen on/off edges lost (unpaired sessions)
+  kTruncateDays,       ///< trailing history days missing (cold start)
+};
+
+inline constexpr std::size_t kNumFaultKinds = 8;
+
+/// Human-readable name of a fault kind ("drop-record", …).
+const char* kind_name(FaultKind kind);
+
+/// All fault kinds, in enum order (for sweeps).
+const std::array<FaultKind, kNumFaultKinds>& all_fault_kinds();
+
+/// One perturbation: a kind plus its intensity. `rate` is the fraction
+/// of candidate records affected (for kTruncateDays: the fraction of
+/// trailing days removed). Must lie in [0, 1].
+struct FaultSpec {
+  FaultKind kind = FaultKind::kDropRecord;
+  double rate = 0.0;
+};
+
+/// A reproducible chaos scenario: a seed plus an ordered list of
+/// perturbations, applied in order by the injector.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultSpec> specs;
+
+  /// Builder convenience: plan.with(kClockSkew, 0.1).with(kDropRecord, 0.05)
+  FaultPlan& with(FaultKind kind, double rate) {
+    specs.push_back({kind, rate});
+    return *this;
+  }
+};
+
+/// What the injector actually did, per kind — chaos tests assert on
+/// these counts instead of guessing from the perturbed trace.
+struct FaultLog {
+  std::array<std::size_t, kNumFaultKinds> injected{};
+
+  std::size_t count(FaultKind kind) const {
+    return injected[static_cast<std::size_t>(kind)];
+  }
+  std::size_t total() const {
+    std::size_t sum = 0;
+    for (const std::size_t n : injected) sum += n;
+    return sum;
+  }
+};
+
+}  // namespace netmaster::fault

@@ -4,16 +4,19 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "fault/sanitize.hpp"
 
 namespace netmaster::mining {
 
 HabitModel HabitModel::mine(const UserTrace& history) {
-  return mine(engine::TraceIndex(history));
+  const fault::SanitizeResult repaired = fault::sanitize_trace(history);
+  HabitModel model = mine(engine::TraceIndex(repaired.trace));
+  model.data_quality_ = repaired.report.quality();
+  return model;
 }
 
 HabitModel HabitModel::mine(const engine::TraceIndex& history) {
   const UserTrace& trace = history.trace();
-  trace.validate();
   HabitModel model;
 
   // The index's per-(day, hour) buckets hold exactly the occupancy
@@ -39,7 +42,7 @@ HabitModel HabitModel::mine(const engine::TraceIndex& history) {
   }
 
   for (auto& s : model.stats_) {
-    if (s.days_observed == 0) continue;
+    if (s.days_observed == 0) continue;  // confidence stays all-zero
     const auto k = static_cast<double>(s.days_observed);
     for (int h = 0; h < kHoursPerDay; ++h) {
       s.pr_active[h] /= k;
@@ -47,9 +50,36 @@ HabitModel HabitModel::mine(const engine::TraceIndex& history) {
       s.mean_intensity[h] /= k;
       s.mean_net_count[h] /= k;
       s.mean_net_bytes[h] /= k;
+      // Per-slot confidence: a sample-size factor k/(k+1) (one day of
+      // history is barely evidence) shrunk further by the binomial
+      // standard error of the pr_active estimate, sqrt(p(1-p)/k).
+      const double p = s.pr_active[h];
+      const double stderr_p = std::sqrt(p * (1.0 - p) / k);
+      s.confidence[h] =
+          std::clamp(k / (k + 1.0) * (1.0 - stderr_p), 0.0, 1.0);
     }
   }
   return model;
+}
+
+double HabitModel::confidence(DayKind kind, int hour) const {
+  NM_REQUIRE(hour >= 0 && hour < kHoursPerDay, "hour out of range");
+  return stats_[static_cast<std::size_t>(kind)].confidence[hour] *
+         data_quality_;
+}
+
+double HabitModel::overall_confidence() const {
+  double weighted = 0.0;
+  int total_days = 0;
+  for (const auto& s : stats_) {
+    if (s.days_observed == 0) continue;
+    double sum = 0.0;
+    for (int h = 0; h < kHoursPerDay; ++h) sum += s.confidence[h];
+    weighted += sum / kHoursPerDay * s.days_observed;
+    total_days += s.days_observed;
+  }
+  if (total_days == 0) return 0.0;
+  return weighted / total_days * data_quality_;
 }
 
 double HabitModel::pr_active_at(TimeMs t) const {

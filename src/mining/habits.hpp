@@ -40,18 +40,27 @@ struct HourStats {
   std::array<double, kHoursPerDay> mean_intensity{};
   std::array<double, kHoursPerDay> mean_net_count{};  ///< screen-off
   std::array<double, kHoursPerDay> mean_net_bytes{};  ///< screen-off
+  /// Per-slot estimate confidence in [0, 1]: shrinks with the binomial
+  /// standard error of pr_active and with small day counts (0 when the
+  /// regime was never observed). Does not include the data-quality
+  /// factor — see HabitModel::confidence.
+  std::array<double, kHoursPerDay> confidence{};
   int days_observed = 0;
 };
 
 /// Mined habit model of one user.
 class HabitModel {
  public:
-  /// Mines the full training trace (all its days).
+  /// Mines a training trace (all its days). Tolerant: corrupted input
+  /// is repaired through fault::sanitize_trace first, and the repair
+  /// ledger's quality score scales the model's confidence. Valid
+  /// traces mine bit-identically to the index overload.
   static HabitModel mine(const UserTrace& history);
 
   /// Mines from a prebuilt index (the per-hour buckets are exactly the
   /// statistics Eqs. 2–3 consume); shares the index across consumers
-  /// instead of rescanning the trace.
+  /// instead of rescanning the trace. The caller vouches for the
+  /// indexed trace (fleet paths validate before indexing).
   static HabitModel mine(const engine::TraceIndex& history);
 
   const HourStats& stats(DayKind kind) const {
@@ -65,8 +74,27 @@ class HabitModel {
   /// Pr[u] for a given regime and hour of day.
   double pr_active(DayKind kind, int hour) const;
 
+  /// Per-slot confidence in [0, 1]: the regime's per-hour estimate
+  /// confidence scaled by the training data quality.
+  double confidence(DayKind kind, int hour) const;
+
+  /// Confidence pooled over both regimes (weighted by days observed);
+  /// 0 when the model saw no training days at all. NetMasterPolicy
+  /// compares this against its robustness threshold.
+  double overall_confidence() const;
+
+  /// Total training days folded into the model (both regimes).
+  int training_days() const {
+    return stats_[0].days_observed + stats_[1].days_observed;
+  }
+
+  /// Fraction of training events that survived sanitation (1 for clean
+  /// training input).
+  double data_quality() const { return data_quality_; }
+
  private:
   std::array<HourStats, 2> stats_{};
+  double data_quality_ = 1.0;
 };
 
 /// Configuration of the slot predictor.

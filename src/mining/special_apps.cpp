@@ -9,11 +9,18 @@ SpecialApps SpecialApps::detect(const UserTrace& history) {
   const std::size_t n = history.app_names.size();
   std::vector<bool> used(n, false);
   std::vector<bool> networked(n, false);
+  // Tolerate corrupt ids (negative / past the app table): such records
+  // simply contribute no evidence. Callers feeding raw monitoring data
+  // must not crash the miner.
   for (const AppUsage& u : history.usages) {
-    used[static_cast<std::size_t>(u.app)] = true;
+    if (u.app >= 0 && static_cast<std::size_t>(u.app) < n) {
+      used[static_cast<std::size_t>(u.app)] = true;
+    }
   }
   for (const NetworkActivity& a : history.activities) {
-    networked[static_cast<std::size_t>(a.app)] = true;
+    if (a.app >= 0 && static_cast<std::size_t>(a.app) < n) {
+      networked[static_cast<std::size_t>(a.app)] = true;
+    }
   }
   result.special_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <map>
+#include <sstream>
 #include <vector>
 
 #include "common/error.hpp"
 #include "engine/radio_timeline.hpp"
+#include "policy/delay_batch.hpp"
 #include "sched/overlap.hpp"
 
 namespace netmaster::policy {
@@ -39,10 +41,44 @@ NetMasterPolicy::NetMasterPolicy(const UserTrace& training,
       special_(mining::SpecialApps::detect(training)) {
   NM_REQUIRE(config.eps > 0.0 && config.eps < 1.0,
              "eps must be in (0, 1)");
+  NM_REQUIRE(config.robustness.min_confidence >= 0.0 &&
+                 config.robustness.min_confidence <= 1.0,
+             "min_confidence must be a probability");
+  NM_REQUIRE(config.robustness.fallback_interval_ms > 0,
+             "fallback interval must be positive");
+
+  // Degradation gate: refuse to act on a model mined from too little
+  // or too damaged history. The reason string is surfaced through
+  // PolicyOutcome / SimReport so fleet reports show which users ran
+  // degraded.
+  const mining::HabitModel& model = predictor_.model();
+  std::ostringstream why;
+  if (model.training_days() < config.robustness.min_training_days) {
+    why << "training days " << model.training_days() << " < "
+        << config.robustness.min_training_days;
+  } else if (model.overall_confidence() <
+             config.robustness.min_confidence) {
+    why << "model confidence " << model.overall_confidence() << " < "
+        << config.robustness.min_confidence << " (data quality "
+        << model.data_quality() << ")";
+  }
+  degraded_reason_ = why.str();
 }
 
 sim::PolicyOutcome NetMasterPolicy::run(
     const engine::TraceIndex& eval) const {
+  if (degraded()) {
+    // Safe fallback: the strongest model-free baseline. Keep this
+    // policy's name on the outcome so grids stay keyed consistently,
+    // but flag the path so reports can tell the runs apart.
+    DelayBatchPolicy fallback(config_.robustness.fallback_interval_ms);
+    sim::PolicyOutcome outcome = fallback.run(eval);
+    outcome.policy_name = name();
+    outcome.path = sim::ExecutionPath::kDegradedFallback;
+    outcome.degraded_reason = degraded_reason_;
+    return outcome;
+  }
+
   sim::PolicyOutcome outcome;
   outcome.policy_name = name();
   const TimeMs horizon = eval.horizon();

@@ -36,11 +36,25 @@
 
 namespace netmaster::policy {
 
+/// Guard rails for running on untrusted training data. When the mined
+/// habit model is too weak to trust — too few training days survived,
+/// or the pooled confidence (which folds in the sanitizer's
+/// data-quality score) is below threshold — NetMaster refuses to bet on
+/// its predictions and substitutes the safe delay-batch schedule, which
+/// needs no model at all. The taken path is reported in the outcome.
+struct RobustnessConfig {
+  double min_confidence = 0.25;  ///< HabitModel::overall_confidence gate
+  int min_training_days = 2;     ///< Eq. 2 needs at least a flip of days
+  /// Deferral interval of the substituted DelayBatchPolicy.
+  DurationMs fallback_interval_ms = 60 * 1000;
+};
+
 struct NetMasterConfig {
   mining::PredictorConfig predictor;  ///< δ = 0.2 weekday / 0.1 weekend
   sched::ProfitConfig profit;
   double eps = 0.1;  ///< SinKnap ε (§V-C)
   duty::DutyConfig duty;
+  RobustnessConfig robustness;
 
   // Ablation switches (all on = the paper's system).
   bool enable_prediction = true;
@@ -58,10 +72,13 @@ struct NetMasterConfig {
 
 class NetMasterPolicy final : public Policy {
  public:
-  /// Mines `training` and fixes the configuration. The evaluation trace
-  /// handed to run() must share the training trace's app population and
-  /// weekday alignment (slice evaluation windows at multiples of 7
-  /// days so Eq. 2's weekday/weekend split stays valid).
+  /// Mines `training` and fixes the configuration. Tolerant: corrupted
+  /// training data is sanitized by the miner and, when too much is lost
+  /// (see RobustnessConfig), the policy degrades to the safe delay-batch
+  /// schedule instead of acting on an untrustworthy model. The
+  /// evaluation trace handed to run() must share the training trace's
+  /// app population and weekday alignment (slice evaluation windows at
+  /// multiples of 7 days so Eq. 2's weekday/weekend split stays valid).
   NetMasterPolicy(const UserTrace& training, NetMasterConfig config);
 
   using Policy::run;
@@ -73,10 +90,16 @@ class NetMasterPolicy final : public Policy {
   const mining::SpecialApps& special_apps() const { return special_; }
   const NetMasterConfig& config() const { return config_; }
 
+  /// True when run() will take the degraded fallback path.
+  bool degraded() const { return !degraded_reason_.empty(); }
+  /// Why the policy degraded; empty on the normal path.
+  const std::string& degraded_reason() const { return degraded_reason_; }
+
  private:
   NetMasterConfig config_;
   mining::SlotPredictor predictor_;
   mining::SpecialApps special_;
+  std::string degraded_reason_;
 };
 
 }  // namespace netmaster::policy

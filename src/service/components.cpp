@@ -15,10 +15,13 @@ void MiningComponent::subscribe(Listener listener) {
 
 void MiningComponent::retrain(UserId user, int num_days,
                               std::vector<std::string> app_names) {
-  const UserTrace trace =
-      store_.to_trace(user, num_days, std::move(app_names));
-  Broadcast broadcast{mining::HabitModel::mine(trace),
-                      mining::SpecialApps::detect(trace)};
+  // Tolerant path: a store holding damaged monitoring records must
+  // degrade the model, not kill the retrain cycle.
+  const fault::SanitizeResult repaired =
+      store_.to_trace_tolerant(user, num_days, std::move(app_names));
+  Broadcast broadcast{mining::HabitModel::mine(repaired.trace),
+                      mining::SpecialApps::detect(repaired.trace),
+                      repaired.report};
   latest_ = broadcast;
   for (const Listener& listener : listeners_) listener(broadcast);
 }

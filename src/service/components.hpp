@@ -38,6 +38,10 @@ class MiningComponent {
   struct Broadcast {
     mining::HabitModel model;
     mining::SpecialApps special;
+    /// Repair ledger of the store->trace reconstruction. A non-clean
+    /// report means the monitoring layer handed over damaged records
+    /// that were repaired (not fatal) before mining.
+    fault::SanitizeReport repair;
   };
   using Listener = std::function<void(const Broadcast&)>;
 

@@ -31,6 +31,21 @@ std::vector<Record> RecordStore::all_records() const {
 
 UserTrace RecordStore::to_trace(UserId user, int num_days,
                                 std::vector<std::string> app_names) const {
+  UserTrace trace = reconstruct(user, num_days, std::move(app_names));
+  trace.validate();
+  return trace;
+}
+
+fault::SanitizeResult RecordStore::to_trace_tolerant(
+    UserId user, int num_days,
+    std::vector<std::string> app_names) const {
+  return fault::sanitize_trace(
+      reconstruct(user, num_days, std::move(app_names)));
+}
+
+UserTrace RecordStore::reconstruct(
+    UserId user, int num_days,
+    std::vector<std::string> app_names) const {
   UserTrace trace;
   trace.user = user;
   trace.num_days = num_days;
@@ -86,7 +101,6 @@ UserTrace RecordStore::to_trace(UserId user, int num_days,
             [](const NetworkActivity& a, const NetworkActivity& b) {
               return a.start < b.start;
             });
-  trace.validate();
   return trace;
 }
 

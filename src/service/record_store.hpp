@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/time.hpp"
+#include "fault/sanitize.hpp"
 #include "trace/trace.hpp"
 
 namespace netmaster::service {
@@ -70,11 +71,24 @@ class RecordStore {
   std::size_t bytes_flushed() const { return bytes_flushed_; }
 
   /// Reconstructs a UserTrace (for the mining component) from the
-  /// records, given the app table and day count.
+  /// records, given the app table and day count. Throws on records a
+  /// valid trace cannot hold (strict path).
   UserTrace to_trace(UserId user, int num_days,
                      std::vector<std::string> app_names) const;
 
+  /// Tolerant reconstruction: runs the same rebuild, then repairs the
+  /// result through fault::sanitize_trace instead of throwing. The
+  /// repair ledger tells the mining layer how much monitoring data had
+  /// to be discarded.
+  fault::SanitizeResult to_trace_tolerant(
+      UserId user, int num_days,
+      std::vector<std::string> app_names) const;
+
  private:
+  /// Shared rebuild; makes no validity promises.
+  UserTrace reconstruct(UserId user, int num_days,
+                        std::vector<std::string> app_names) const;
+
   std::size_t cache_capacity_;
   std::vector<Record> cache_;
   std::vector<Record> flash_;

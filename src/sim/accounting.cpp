@@ -14,6 +14,8 @@ SimReport account(const UserTrace& eval, const PolicyOutcome& outcome,
   SimReport report;
   report.policy_name = outcome.policy_name;
   report.horizon_ms = eval.trace_end();
+  report.degraded = outcome.path == ExecutionPath::kDegradedFallback;
+  report.degraded_reason = outcome.degraded_reason;
 
   // Consistency: every activity executed exactly once, inside the
   // horizon.

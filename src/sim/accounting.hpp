@@ -47,6 +47,10 @@ struct SimReport {
   // Context.
   DurationMs horizon_ms = 0;
   DurationMs screen_on_ms = 0;
+
+  // Degradation provenance (copied from the outcome).
+  bool degraded = false;        ///< fallback path produced this run
+  std::string degraded_reason;  ///< empty unless degraded
 };
 
 /// Runs the accountant. Throws netmaster::Error when the outcome is

@@ -28,9 +28,26 @@ struct ExecutedTransfer {
   DurationMs duration = 0;         ///< executed transfer time
 };
 
+/// Which decision path produced an outcome. Policies with a graceful
+/// degradation mode (NetMaster) report when they abandoned their normal
+/// algorithm for the safe fallback schedule.
+enum class ExecutionPath {
+  kNormal = 0,            ///< the policy's own algorithm ran
+  kDegradedFallback = 1,  ///< safe fallback schedule was substituted
+};
+
+inline const char* execution_path_name(ExecutionPath path) {
+  return path == ExecutionPath::kNormal ? "normal" : "degraded-fallback";
+}
+
 /// Everything a policy did over the evaluation window.
 struct PolicyOutcome {
   std::string policy_name;
+
+  /// Decision path taken (see ExecutionPath). When degraded,
+  /// `degraded_reason` says why (low confidence, short training, ...).
+  ExecutionPath path = ExecutionPath::kNormal;
+  std::string degraded_reason;
 
   /// Every activity of the eval trace, with its executed timing. A
   /// policy must execute each activity exactly once (checked by the

@@ -36,11 +36,20 @@ std::vector<std::string_view> split_csv(std::string_view line) {
 }
 
 std::int64_t parse_int(std::string_view field, int line) {
+  if (field.empty()) parse_fail(line, "empty integer field");
   std::int64_t value = 0;
   const auto [ptr, ec] =
       std::from_chars(field.data(), field.data() + field.size(), value);
-  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+  if (ec == std::errc::result_out_of_range) {
+    parse_fail(line,
+               "integer out of range: '" + std::string(field) + "'");
+  }
+  if (ec != std::errc{}) {
     parse_fail(line, "expected integer, got '" + std::string(field) + "'");
+  }
+  if (ptr != field.data() + field.size()) {
+    parse_fail(line, "trailing garbage after integer: '" +
+                         std::string(field) + "'");
   }
   return value;
 }

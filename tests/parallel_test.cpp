@@ -48,7 +48,55 @@ TEST(ParallelFor, PropagatesFirstException) {
                    [](std::size_t i) {
                      if (i == 37) throw std::runtime_error("boom");
                    }),
-      std::runtime_error);
+      ParallelTaskError);
+}
+
+TEST(ParallelFor, ThrowingWorkerReportsTaskContext) {
+  // The rethrown error must carry which index failed and the original
+  // message, so a fleet caller can name the poisoned user.
+  try {
+    parallel_for(64, [](std::size_t i) {
+      if (i == 37) throw std::runtime_error("poisoned trace");
+    });
+    FAIL() << "expected ParallelTaskError";
+  } catch (const ParallelTaskError& e) {
+    EXPECT_EQ(e.index(), 37u);
+    EXPECT_NE(std::string(e.what()).find("37"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("poisoned trace"),
+              std::string::npos);
+    ASSERT_TRUE(e.cause());
+    EXPECT_THROW(std::rethrow_exception(e.cause()), std::runtime_error);
+  }
+}
+
+TEST(ParallelFor, LowestFailingIndexWinsAcrossThreads) {
+  // With several failing indices spread across workers, the reported
+  // failure is the lowest index — deterministic in the input, not in
+  // thread scheduling.
+  for (unsigned threads : {2u, 4u, 8u}) {
+    try {
+      parallel_for(
+          256,
+          [](std::size_t i) {
+            if (i % 50 == 13) throw std::runtime_error("boom");
+          },
+          threads);
+      FAIL() << "expected ParallelTaskError";
+    } catch (const ParallelTaskError& e) {
+      EXPECT_EQ(e.index(), 13u) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelFor, ForeignThrowablePassesThrough) {
+  // Non-std::exception throwables cannot be wrapped with a message but
+  // must still reach the caller unchanged.
+  EXPECT_THROW(parallel_for(8,
+                            [](std::size_t i) {
+                              if (i == 3) throw 42;
+                            },
+                            /*max_threads=*/2),
+               int);
 }
 
 TEST(ParallelFor, SequentialExceptionPreservesEarlierWork) {

@@ -4,7 +4,10 @@
 // stability of the calibrated headline statistics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "service/monitoring.hpp"
@@ -57,6 +60,121 @@ TEST_P(ParserFuzz, TruncatedInputThrowsOrParses) {
     const auto cut = static_cast<std::size_t>(rng.uniform_int(
         0, static_cast<std::int64_t>(original.size()) - 1));
     std::stringstream ss(original.substr(0, cut));
+    try {
+      const UserTrace parsed = read_trace(ss);
+      EXPECT_NO_THROW(parsed.validate());
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST_P(ParserFuzz, MultiByteSpliceThrowsOrParses) {
+  // Replace a random span with random printable bytes (models a torn
+  // write / partial overwrite of the file), same invariant: parse a
+  // *valid* trace or throw — never crash or accept garbage silently.
+  const std::string original = serialized_sample();
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string mutated = original;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(mutated.size()) - 1));
+    const auto len = static_cast<std::size_t>(rng.uniform_int(
+        1, std::min<std::int64_t>(
+               64, static_cast<std::int64_t>(mutated.size() - pos))));
+    std::string splice(len, '\0');
+    for (char& c : splice) {
+      c = static_cast<char>(rng.uniform_int(32, 126));
+    }
+    mutated.replace(pos, len, splice);
+    std::stringstream ss(mutated);
+    try {
+      const UserTrace parsed = read_trace(ss);
+      EXPECT_NO_THROW(parsed.validate());
+    } catch (const Error&) {
+    }
+  }
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::stringstream ss(text);
+  std::string line;
+  while (std::getline(ss, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+TEST_P(ParserFuzz, LineDeletionThrowsOrParses) {
+  // Whole records lost in transit. Deleting data lines must still
+  // yield a valid (smaller) trace or a clean throw (e.g. a deleted
+  // header or app-table row).
+  const std::vector<std::string> lines =
+      split_lines(serialized_sample());
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::string> mutated = lines;
+    const auto kills = static_cast<std::size_t>(rng.uniform_int(1, 3));
+    for (std::size_t k = 0; k < kills && mutated.size() > 1; ++k) {
+      mutated.erase(mutated.begin() +
+                    rng.uniform_int(
+                        0, static_cast<std::int64_t>(mutated.size()) - 1));
+    }
+    std::stringstream ss(join_lines(mutated));
+    try {
+      const UserTrace parsed = read_trace(ss);
+      EXPECT_NO_THROW(parsed.validate());
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST_P(ParserFuzz, LineDuplicationThrowsOrParses) {
+  // Records delivered twice. Duplicated screen sessions overlap, so
+  // the parser's validate() must reject them; duplicated activities
+  // may legitimately parse.
+  const std::vector<std::string> lines =
+      split_lines(serialized_sample());
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::string> mutated = lines;
+    const auto at = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(mutated.size()) - 1));
+    mutated.insert(mutated.begin() + at, mutated[at]);
+    std::stringstream ss(join_lines(mutated));
+    try {
+      const UserTrace parsed = read_trace(ss);
+      EXPECT_NO_THROW(parsed.validate());
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST(ParserFuzz, CrlfAndWhitespaceVariants) {
+  // Files round-tripped through Windows tooling (CRLF line endings) or
+  // padded with stray whitespace must throw cleanly or parse valid —
+  // the strict parser currently rejects both, which is fine; what it
+  // must never do is crash or silently misparse a field.
+  const std::string original = serialized_sample();
+
+  std::string crlf;
+  for (const char c : original) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  for (const std::string& variant :
+       {crlf,
+        "  " + original,               // leading indentation
+        original + "\n   \t  \n",      // trailing whitespace lines
+        "\xEF\xBB\xBF" + original}) {  // UTF-8 BOM
+    std::stringstream ss(variant);
     try {
       const UserTrace parsed = read_trace(ss);
       EXPECT_NO_THROW(parsed.validate());

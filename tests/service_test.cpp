@@ -44,6 +44,65 @@ TEST(RecordStore, CacheFlushesWhenFull) {
   EXPECT_EQ(store.all_records().size(), 2u);
 }
 
+TEST(RecordStore, AppendExactlyAtCapacityFlushesOnce) {
+  // Capacity for exactly 3 records: appends 1 and 2 stay cached, the
+  // 3rd lands exactly at capacity and triggers one flush of all 3.
+  RecordStore store(3 * sizeof(Record));
+  store.append({RecordKind::kScreenOn, 1, -1, 0, 0, 0, false, false});
+  store.append({RecordKind::kScreenOff, 2, -1, 0, 0, 0, false, false});
+  EXPECT_EQ(store.cached(), 2u);
+  EXPECT_EQ(store.flush_count(), 0u);
+  store.append({RecordKind::kScreenOn, 3, -1, 0, 0, 0, false, false});
+  EXPECT_EQ(store.cached(), 0u);
+  EXPECT_EQ(store.flush_count(), 1u);
+  EXPECT_EQ(store.bytes_flushed(), 3 * sizeof(Record));
+  EXPECT_EQ(store.size(), 3u);
+}
+
+TEST(RecordStore, RecordLargerThanCacheFlushesEveryAppend) {
+  // A cache smaller than one record degenerates to capacity 1: every
+  // append writes through immediately, nothing is ever cached, and no
+  // record is lost.
+  RecordStore store(sizeof(Record) / 2);
+  for (TimeMs t = 1; t <= 5; ++t) {
+    store.append({RecordKind::kNetworkSample, t, -1, 0, 0, 0, false,
+                  false});
+    EXPECT_EQ(store.cached(), 0u);
+  }
+  EXPECT_EQ(store.flush_count(), 5u);
+  EXPECT_EQ(store.bytes_flushed(), 5 * sizeof(Record));
+  EXPECT_EQ(store.all_records().size(), 5u);
+}
+
+TEST(RecordStore, RepeatedFillFlushCyclesAccountExactly) {
+  // 10 fill/flush cycles of a 2-record cache plus one trailing partial
+  // fill: counters must account every byte exactly once.
+  RecordStore store(2 * sizeof(Record));
+  const std::size_t cycles = 10;
+  for (std::size_t i = 0; i < 2 * cycles; ++i) {
+    store.append({RecordKind::kNetworkSample,
+                  static_cast<TimeMs>(i + 1), -1, 0, 0, 0, false,
+                  false});
+  }
+  EXPECT_EQ(store.flush_count(), cycles);
+  EXPECT_EQ(store.bytes_flushed(), 2 * cycles * sizeof(Record));
+  // Trailing partial fill: cached but not yet flushed...
+  store.append({RecordKind::kScreenOn, 999, -1, 0, 0, 0, false, false});
+  EXPECT_EQ(store.cached(), 1u);
+  EXPECT_EQ(store.flush_count(), cycles);
+  // ...until an explicit flush, which accounts the partial batch.
+  store.flush();
+  EXPECT_EQ(store.flush_count(), cycles + 1);
+  EXPECT_EQ(store.bytes_flushed(), (2 * cycles + 1) * sizeof(Record));
+  EXPECT_EQ(store.size(), 2 * cycles + 1);
+  // Append order survives the cycles.
+  const auto records = store.all_records();
+  ASSERT_EQ(records.size(), 2 * cycles + 1);
+  for (std::size_t i = 0; i < 2 * cycles; ++i) {
+    EXPECT_EQ(records[i].time, static_cast<TimeMs>(i + 1));
+  }
+}
+
 TEST(RecordStore, ExplicitFlushAndIdempotence) {
   RecordStore store;
   store.append({RecordKind::kScreenOn, 1, -1, 0, 0, 0, false, false});
@@ -105,6 +164,36 @@ TEST(MiningComponent, RetrainBroadcasts) {
   EXPECT_EQ(broadcasts, 1);
   ASSERT_TRUE(mining.latest().has_value());
   EXPECT_THROW(mining.subscribe(nullptr), Error);
+}
+
+TEST(MiningComponent, RetrainToleratesDamagedRecords) {
+  // A store holding records a valid trace cannot express — negative
+  // byte deltas (counter reset), an unknown app id, a timestamp past
+  // the horizon — must degrade the broadcast, not kill the retrain.
+  const UserTrace t = sample_trace();
+  RecordStore store;
+  MonitoringComponent monitor(store);
+  monitor.observe(t);
+  store.append({RecordKind::kNetworkActivity, 100, 0, -5'000, -3, 10,
+                false, true});
+  store.append({RecordKind::kNetworkActivity, 200,
+                static_cast<AppId>(t.app_names.size() + 4), 10, 10, 10,
+                false, true});
+  store.append({RecordKind::kAppForeground,
+                t.trace_end() + kMsPerHour, 0, 0, 0, 5, false, false});
+
+  // The strict path rejects the damaged store...
+  EXPECT_THROW(store.to_trace(t.user, t.num_days, t.app_names), Error);
+
+  // ...the tolerant retrain repairs it and reports what it discarded.
+  MiningComponent mining(store);
+  mining.retrain(t.user, t.num_days, t.app_names);
+  ASSERT_TRUE(mining.latest().has_value());
+  const MiningComponent::Broadcast& b = *mining.latest();
+  EXPECT_FALSE(b.repair.clean());
+  EXPECT_GE(b.repair.dropped_events + b.repair.clamped_events, 2u);
+  EXPECT_LT(b.repair.quality(), 1.0);
+  EXPECT_GT(b.model.training_days(), 0);
 }
 
 TEST(SchedulingComponent, RadioCommands) {

@@ -87,6 +87,40 @@ TEST(TraceIo, NonIntegerFieldThrows) {
   EXPECT_THROW(read_trace(ss), TraceParseError);
 }
 
+TEST(TraceIo, EmptyIntegerFieldThrows) {
+  std::stringstream ss;
+  ss << "user,1,days,1\nscreen,,200\n";
+  EXPECT_THROW(read_trace(ss), TraceParseError);
+}
+
+TEST(TraceIo, TrailingGarbageAfterIntegerThrows) {
+  // from_chars stops at the first non-digit; the parser must reject
+  // the remainder instead of silently truncating "100abc" to 100.
+  for (const char* line : {"screen,100abc,200", "screen,100,200 ",
+                           "screen,100,2e2", "screen,0x10,200"}) {
+    std::stringstream ss;
+    ss << "user,1,days,1\n" << line << '\n';
+    EXPECT_THROW(read_trace(ss), TraceParseError) << line;
+  }
+}
+
+TEST(TraceIo, OutOfRangeIntegerThrows) {
+  // Values past int64 range must fail parsing, not wrap or saturate
+  // into a default-initialized value.
+  std::stringstream ss;
+  ss << "user,1,days,1\nscreen,99999999999999999999999,200\n";
+  EXPECT_THROW(read_trace(ss), TraceParseError);
+  std::stringstream header;
+  header << "user,99999999999999999999999,days,1\n";
+  EXPECT_THROW(read_trace(header), TraceParseError);
+}
+
+TEST(TraceIo, WhitespacePaddedIntegerThrows) {
+  std::stringstream ss;
+  ss << "user,1,days,1\nscreen, 100,200\n";
+  EXPECT_THROW(read_trace(ss), TraceParseError);
+}
+
 TEST(TraceIo, NonDenseAppIdsThrow) {
   std::stringstream ss;
   ss << "user,1,days,1\napp,1,beta\n";
