@@ -31,7 +31,7 @@ void print_figure() {
                eval::Table::num(row.mean_deferral_latency_s, 1),
                eval::Table::num(row.wake_count, 0)});
   }
-  t.print(std::cout);
+  bench::emit(t);
   std::cout << "expectation: disabling prediction pushes everything "
                "through the duty path (higher latency); disabling the "
                "duty cycle strands unpredicted transfers; disabling "
@@ -64,7 +64,7 @@ void print_figure() {
     e.add_row({eval::Table::num(eps, 2), eval::Table::pct(saving / 3.0),
                eval::Table::pct(affected / 3.0, 2)});
   }
-  e.print(std::cout);
+  bench::emit(e);
   std::cout << "expected shape: savings barely move with ε on trace "
                "workloads (capacity rarely binds) — ε = 0.1 is a safe "
                "default\n\n";

@@ -131,7 +131,7 @@ void print_figure() {
                    "/" + std::to_string(report.num_users),
                std::to_string(report.failures.size())});
   }
-  t.print(std::cout);
+  bench::emit(t);
   std::cout << "expected shape: savings degrade smoothly with the "
                "fault rate, zero failed rows (sanitized replay), and "
                "the cold-start fleet runs entirely on the safe "

@@ -75,7 +75,7 @@ void print_figure() {
                  std::to_string(arm.moved)});
     }
   }
-  t.print(std::cout);
+  bench::emit(t);
   std::cout << "channel awareness saves a further "
             << eval::Table::pct(saved_sum / std::max(rows, 1))
             << " of NetMaster's signal-adjusted energy (paper: future "

@@ -62,7 +62,7 @@ void print_figure() {
     t.add_row({prof.name, "oracle", "-",
                eval::Table::pct(oracle_saving / n), "-"});
   }
-  t.print(std::cout);
+  bench::emit(t);
   std::cout << "expected shape: savings comparable across radio "
                "generations; LTE pays more per tail but promotes "
                "faster\n\n";

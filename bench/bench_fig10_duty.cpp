@@ -43,7 +43,7 @@ void print_figure() {
                eval::Table::pct(static_cast<double>(on) /
                                 static_cast<double>(kWindowMs), 2)});
   }
-  a.print(std::cout);
+  bench::emit(a);
 
   std::cout << "\n(b) wake-ups over 30 idle minutes (T = 30 s)\n";
   eval::Table b({"minute", "exponential", "fixed", "random"});
@@ -71,7 +71,7 @@ void print_figure() {
                std::to_string(count_until(fixed_wakes, t)),
                std::to_string(count_until(random_wakes, t))});
   }
-  b.print(std::cout);
+  bench::emit(b);
   std::cout << "measured totals: exponential " << exp_wakes.size()
             << ", fixed " << fixed_wakes.size() << ", random "
             << random_wakes.size()

@@ -40,7 +40,7 @@ void print_figure() {
                   (p.delta - points[i - 1].delta) * d0 / (d0 - d1);
     }
   }
-  t.print(std::cout);
+  bench::emit(t);
   if (crossover >= 0.0) {
     std::cout << "measured crossover: delta ≈ "
               << eval::Table::num(crossover, 2) << " (paper: 0.37)\n\n";

@@ -49,7 +49,7 @@ void print_figure() {
                      rates.screen_off_kbps.end());
   }
   std::cout << "\n(a) activity distribution by screen state\n";
-  a.print(std::cout);
+  bench::emit(a);
   std::cout << "measured average screen-off fraction: "
             << eval::Table::pct(off_sum /
                                 static_cast<double>(traces.users.size()))
@@ -64,7 +64,7 @@ void print_figure() {
                eval::Table::num(cdf_quantile(on_cdf, q), 2),
                eval::Table::num(cdf_quantile(off_cdf, q), 2)});
   }
-  b.print(std::cout);
+  bench::emit(b);
   std::cout << "measured p90: screen-on "
             << eval::Table::num(cdf_quantile(on_cdf, 0.9), 2)
             << " kB/s (paper < 5), screen-off "

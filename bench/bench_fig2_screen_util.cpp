@@ -36,7 +36,7 @@ void print_figure() {
                eval::Table::num(u.avg_utilized_s, 1),
                eval::Table::pct(u.radio_utilization)});
   }
-  t.print(std::cout);
+  bench::emit(t);
   std::cout << "measured average utilization: "
             << eval::Table::pct(
                    util_sum / static_cast<double>(traces.users.size()))

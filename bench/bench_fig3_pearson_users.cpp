@@ -37,7 +37,7 @@ void print_figure() {
     }
     t.add_row(std::move(row));
   }
-  t.print(std::cout);
+  bench::emit(t);
   std::cout << "measured off-diagonal mean: "
             << eval::Table::num(m.off_diagonal_mean(), 4)
             << "  (paper: 0.1353)\n\n";

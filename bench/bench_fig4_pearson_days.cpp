@@ -41,7 +41,7 @@ void print_figure() {
     }
     t.add_row(std::move(row));
   }
-  t.print(std::cout);
+  bench::emit(t);
 
   // The full-study statistic: per-user cross-day mean over all users.
   const auto profiles = synth::study_population();

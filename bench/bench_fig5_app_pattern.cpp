@@ -50,7 +50,7 @@ void print_figure() {
                std::to_string(peak - hours.begin()),
                eval::Table::num(*peak, 0)});
   }
-  t.print(std::cout);
+  bench::emit(t);
 
   const mining::SpecialApps special = mining::SpecialApps::detect(trace);
   std::cout << "measured: " << active_networked_app_count(trace) << " of "

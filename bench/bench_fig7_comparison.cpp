@@ -51,7 +51,7 @@ void print_figure() {
       }
     }
   }
-  a.print(std::cout);
+  bench::emit(a);
   std::cout << "measured: NetMaster avg saving "
             << eval::Table::pct(nm_saving /
                                 static_cast<double>(results.size()))
@@ -77,7 +77,7 @@ void print_figure() {
                eval::Table::pct(nm_fraction),
                eval::Table::pct(1.0 - nm_fraction)});
   }
-  b.print(std::cout);
+  bench::emit(b);
   std::cout << "measured: NetMaster removes "
             << eval::Table::pct(saved / static_cast<double>(results.size()))
             << " of radio-on time (paper 75.39%)\n";
@@ -98,7 +98,7 @@ void print_figure() {
                  eval::Table::num(row.peak_up_ratio, 2) + "x"});
     }
   }
-  c.print(std::cout);
+  bench::emit(c);
   std::cout << "measured: avg download "
             << eval::Table::num(down / static_cast<double>(results.size()),
                                 2)

@@ -34,7 +34,7 @@ void print_figure() {
                eval::Table::pct(p.bandwidth_increase),
                eval::Table::pct(p.affected_fraction)});
   }
-  t.print(std::cout);
+  bench::emit(t);
   const auto& last = points.back();
   std::cout << "measured at 600 s: energy "
             << eval::Table::pct(last.energy_saving)

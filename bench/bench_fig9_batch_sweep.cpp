@@ -31,7 +31,7 @@ void print_figure() {
                eval::Table::pct(p.bandwidth_increase),
                eval::Table::pct(p.affected_fraction)});
   }
-  t.print(std::cout);
+  bench::emit(t);
   const auto& five = points[5];
   const auto& last = points.back();
   std::cout << "measured at 5: radio-on "

@@ -71,7 +71,7 @@ void print_figure() {
                eval::Table::num(worst, 4),
                eval::Table::num(sum / kRuns, 4)});
   }
-  t.print(std::cout);
+  bench::emit(t);
 
   std::cout << "\nAlgorithm 1 (and plain greedy) vs brute-force optimum "
                "(12 items, 4 slots, 200 instances, eps=0.1)\n";
@@ -104,7 +104,7 @@ void print_figure() {
              eval::Table::pct(static_cast<double>(within5) / kRuns)});
   o.add_row({"ratio greedy", "none", eval::Table::num(greedy_worst, 4),
              eval::Table::num(greedy_sum / kRuns, 4), "-"});
-  o.print(std::cout);
+  bench::emit(o);
   std::cout << "paper: worst observed gap 11.2%, within 5% of optimal in "
                "81.6% of tests\n\n";
 }

@@ -5,12 +5,12 @@
 // diverse users and report the distribution of NetMaster's saving (and
 // its battery-life meaning), plus the thread-scaling of the experiment
 // harness itself.
-#include <chrono>
 #include <cmath>
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "common/error.hpp"
+#include "obs/span.hpp"
 #include "common/parallel.hpp"
 #include "common/stats.hpp"
 #include "eval/battery.hpp"
@@ -102,7 +102,7 @@ void print_figure() {
                eval::Table::pct(battery_base.mean()),
                eval::Table::pct(battery_nm.mean())});
   }
-  t.print(std::cout);
+  bench::emit(t, "population_scaleout");
   std::cout << "expected shape: savings hold across a diverse "
                "population; interrupts stay < 1% for every user\n\n";
   print_fleet_figure();
@@ -152,11 +152,9 @@ template <typename F>
 double best_of_ms(int reps, F&& f) {
   double best = 0.0;
   for (int r = 0; r < reps; ++r) {
-    const auto t0 = std::chrono::steady_clock::now();
+    obs::ScopedTimer timer;
     f();
-    const auto t1 = std::chrono::steady_clock::now();
-    const double ms =
-        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double ms = timer.stop();
     if (r == 0 || ms < best) best = ms;
   }
   return best;
@@ -189,12 +187,14 @@ void print_fleet_figure() {
     const double fleet_ms =
         best_of_ms(2, [&] { fleet_sweep_energy(users, cfg, suite); });
     const double speedup = fleet_ms > 0.0 ? legacy_ms / fleet_ms : 0.0;
+    bench::record_scalar("fleet_speedup_" + std::to_string(n) + "_users",
+                         speedup);
     t.add_row({std::to_string(n), std::to_string(suite.size()),
                eval::Table::num(legacy_ms, 1), eval::Table::num(fleet_ms, 1),
                eval::Table::num(speedup, 2) + "x",
                identical ? "bit-identical" : "MISMATCH"});
   }
-  t.print(std::cout);
+  bench::emit(t, "fleet_vs_legacy");
   std::cout << "expected shape: speedup >= 1.3x at every population size; "
                "cell energies bit-identical between paths\n\n";
 }

@@ -36,7 +36,7 @@ void print_figure() {
                eval::Table::pct(rep.affected_fraction, 2),
                eval::Table::num(rep.mean_deferral_latency_s, 1)});
   }
-  t.print(std::cout);
+  bench::emit(t);
   std::cout << "measured worst-case interrupt chance: "
             << eval::Table::pct(worst, 2) << " (paper: < 1%)\n\n";
 }

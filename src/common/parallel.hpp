@@ -6,6 +6,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <exception>
 #include <limits>
@@ -15,8 +16,34 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace netmaster {
+
+namespace detail {
+
+/// Cached references into the global registry — resolved once, so the
+/// per-task cost is two clock reads and a few relaxed atomics.
+struct ParallelMetrics {
+  obs::Counter& invocations;
+  obs::Counter& tasks;
+  obs::Histogram& task_ms;
+  obs::Histogram& worker_utilization;
+
+  static ParallelMetrics& get() {
+    static ParallelMetrics m{
+        obs::Registry::global().counter("parallel.invocations"),
+        obs::Registry::global().counter("parallel.tasks"),
+        obs::Registry::global().histogram("parallel.task_ms",
+                                          obs::latency_bounds_ms()),
+        obs::Registry::global().histogram("parallel.worker_utilization",
+                                          obs::fraction_bounds()),
+    };
+    return m;
+  }
+};
+
+}  // namespace detail
 
 /// Failure of one parallel_for task, carrying which index threw and the
 /// original message. The original exception rides along as `cause()` so
@@ -57,6 +84,32 @@ void parallel_for(std::size_t count, Fn&& fn,
   const std::size_t workers =
       std::min<std::size_t>(hw, count);
 
+  using ParallelClock = std::chrono::steady_clock;
+  detail::ParallelMetrics& metrics = detail::ParallelMetrics::get();
+  metrics.invocations.add(1);
+  const auto loop_start = ParallelClock::now();
+  // Per-task wall time feeds the latency histogram; the per-worker sum
+  // of task time over the loop's wall time is that worker's
+  // utilization (1.0 = never idle, low values = starved by skew).
+  auto timed_call = [&](auto&& call, std::size_t i, double& busy_ms) {
+    const auto t0 = ParallelClock::now();
+    call(i);
+    const double ms =
+        std::chrono::duration<double, std::milli>(ParallelClock::now() - t0)
+            .count();
+    metrics.task_ms.add(ms);
+    metrics.tasks.add(1);
+    busy_ms += ms;
+  };
+  auto record_utilization = [&](double busy_ms) {
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               ParallelClock::now() - loop_start)
+                               .count();
+    if (wall_ms > 0.0) {
+      metrics.worker_utilization.add(std::min(1.0, busy_ms / wall_ms));
+    }
+  };
+
   auto wrap_current = [](std::size_t index) -> std::exception_ptr {
     try {
       throw;
@@ -69,13 +122,16 @@ void parallel_for(std::size_t count, Fn&& fn,
   };
 
   if (workers <= 1) {
+    double busy_ms = 0.0;
     for (std::size_t i = 0; i < count; ++i) {
       try {
-        fn(i);
+        timed_call(fn, i, busy_ms);
       } catch (...) {
+        record_utilization(busy_ms);
         std::rethrow_exception(wrap_current(i));
       }
     }
+    record_utilization(busy_ms);
     return;
   }
 
@@ -86,9 +142,10 @@ void parallel_for(std::size_t count, Fn&& fn,
   threads.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
     threads.emplace_back([&, w] {
+      double busy_ms = 0.0;
       for (std::size_t i = w; i < count; i += workers) {
         try {
-          fn(i);
+          timed_call(fn, i, busy_ms);
         } catch (...) {
           const std::exception_ptr wrapped = wrap_current(i);
           const std::lock_guard<std::mutex> lock(error_mutex);
@@ -96,9 +153,11 @@ void parallel_for(std::size_t count, Fn&& fn,
             first_error_index = i;
             first_error = wrapped;
           }
+          record_utilization(busy_ms);
           return;  // this worker stops; others run to completion
         }
       }
+      record_utilization(busy_ms);
     });
   }
   for (std::thread& t : threads) t.join();

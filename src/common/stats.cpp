@@ -6,6 +6,10 @@
 namespace netmaster {
 
 void StreamingStats::add(double x) {
+  if (std::isnan(x)) {
+    ++rejected_;
+    return;
+  }
   if (count_ == 0) {
     min_ = max_ = x;
   } else {
@@ -42,8 +46,11 @@ double StreamingStats::max() const {
 }
 
 double percentile(std::vector<double> values, double q) {
-  NM_REQUIRE(!values.empty(), "percentile of empty sample");
   NM_REQUIRE(q >= 0.0 && q <= 1.0, "percentile q must be in [0,1]");
+  values.erase(std::remove_if(values.begin(), values.end(),
+                              [](double v) { return std::isnan(v); }),
+               values.end());
+  NM_REQUIRE(!values.empty(), "percentile of empty sample");
   std::sort(values.begin(), values.end());
   if (values.size() == 1) return values.front();
   const double pos = q * static_cast<double>(values.size() - 1);
@@ -78,6 +85,9 @@ double pearson(const std::vector<double>& x, const std::vector<double>& y) {
 
 std::vector<CdfPoint> empirical_cdf(std::vector<double> values) {
   std::vector<CdfPoint> cdf;
+  values.erase(std::remove_if(values.begin(), values.end(),
+                              [](double v) { return std::isnan(v); }),
+               values.end());
   if (values.empty()) return cdf;
   std::sort(values.begin(), values.end());
   const auto n = static_cast<double>(values.size());
@@ -106,6 +116,10 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) {
+  if (std::isnan(x)) {
+    ++rejected_;
+    return;
+  }
   std::size_t bin;
   if (x < lo_) {
     bin = 0;

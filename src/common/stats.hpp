@@ -11,11 +11,16 @@
 namespace netmaster {
 
 /// Streaming mean/variance/min/max over doubles (Welford's algorithm).
+/// NaN samples are rejected (counted via rejected(), never folded in)
+/// so one poisoned measurement cannot corrupt the whole series — the
+/// contract the obs-layer histograms rely on.
 class StreamingStats {
  public:
   void add(double x);
 
   std::size_t count() const { return count_; }
+  /// NaN samples seen and ignored by add().
+  std::size_t rejected() const { return rejected_; }
   double mean() const;
   /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
   double variance() const;
@@ -26,6 +31,7 @@ class StreamingStats {
 
  private:
   std::size_t count_ = 0;
+  std::size_t rejected_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
   double min_ = 0.0;
@@ -34,7 +40,8 @@ class StreamingStats {
 };
 
 /// Percentile of a sample (linear interpolation between order statistics).
-/// q in [0, 1]. Sorts a copy; fine for bench-sized samples.
+/// q in [0, 1]. Sorts a copy; fine for bench-sized samples. NaN values
+/// are dropped first (they have no order); an all-NaN sample is empty.
 double percentile(std::vector<double> values, double q);
 
 /// Pearson correlation coefficient of two equal-length vectors (the
@@ -49,13 +56,15 @@ struct CdfPoint {
   double fraction = 0.0;  ///< P(X <= value)
 };
 
-/// Empirical CDF of a sample, one point per distinct value.
+/// Empirical CDF of a sample, one point per distinct value. NaN values
+/// are dropped first.
 std::vector<CdfPoint> empirical_cdf(std::vector<double> values);
 
 /// Smallest value v such that P(X <= v) >= q under the empirical CDF.
 double cdf_quantile(const std::vector<CdfPoint>& cdf, double q);
 
 /// Fixed-width histogram over [lo, hi) with saturating edge bins.
+/// NaN samples are rejected (counted, never binned).
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -65,6 +74,8 @@ class Histogram {
   std::size_t bin_count() const { return counts_.size(); }
   std::size_t count(std::size_t bin) const;
   std::size_t total() const { return total_; }
+  /// NaN samples seen and ignored by add().
+  std::size_t rejected() const { return rejected_; }
   /// Center value of a bin.
   double bin_center(std::size_t bin) const;
   /// Fraction of samples in the bin (0 when empty histogram).
@@ -76,6 +87,7 @@ class Histogram {
   double width_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t rejected_ = 0;
 };
 
 }  // namespace netmaster

@@ -3,11 +3,13 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/span.hpp"
 
 namespace netmaster::engine {
 
 TraceIndex::TraceIndex(const UserTrace& trace)
     : trace_(&trace), horizon_(trace.trace_end()) {
+  const obs::SpanScope span("engine.index_build");
   const std::vector<NetworkActivity>& acts = trace.activities;
   deferrable_flags_.resize(acts.size(), false);
   for (std::size_t i = 0; i < acts.size(); ++i) {

@@ -4,6 +4,8 @@
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "obs/export.hpp"
+#include "obs/span.hpp"
 #include "policy/baseline.hpp"
 #include "policy/delay_batch.hpp"
 #include "policy/netmaster.hpp"
@@ -65,10 +67,12 @@ FleetReport run_fleet_impl(const std::vector<VolunteerTraces>& traces,
   std::vector<sim::SimReport> baseline(n);
   parallel_for(n, [&](std::size_t u) {
     if (!prep_error[u].empty()) return;
+    const obs::SpanScope span("fleet.prepare");
     try {
       traces[u].eval.validate();
       index[u] = std::make_unique<engine::TraceIndex>(traces[u].eval);
       const policy::BaselinePolicy base;
+      const obs::SpanScope account_span("fleet.account");
       baseline[u] =
           sim::account(traces[u].eval, base.run(*index[u]), radio);
     } catch (const std::exception& e) {
@@ -93,16 +97,30 @@ FleetReport run_fleet_impl(const std::vector<VolunteerTraces>& traces,
       cell.error = prep_error[u];
       return;
     }
+    const obs::SpanScope cell_span("fleet.cell");
     try {
-      const auto pol = policies[p].make(traces[u].training);
-      cell.report =
-          sim::account(traces[u].eval, pol->run(*index[u]), radio);
+      std::unique_ptr<policy::Policy> pol;
+      {
+        const obs::SpanScope mine_span("fleet.mine");
+        pol = policies[p].make(traces[u].training);
+      }
+      sim::PolicyOutcome outcome;
+      {
+        const obs::SpanScope schedule_span("fleet.schedule");
+        outcome = pol->run(*index[u]);
+      }
+      const obs::SpanScope account_span("fleet.account");
+      cell.report = sim::account(traces[u].eval, outcome, radio);
     } catch (const std::exception& e) {
       cell.failed = true;
       cell.error = e.what();
+      obs::Registry::global().counter("fleet.cells_failed").add(1);
       return;
     }
     cell.degraded = cell.report.degraded;
+    if (cell.degraded) {
+      obs::Registry::global().counter("fleet.cells_degraded").add(1);
+    }
     if (baseline[u].energy_j > 0.0) {
       cell.energy_saving = 1.0 - cell.report.energy_j / baseline[u].energy_j;
     }
@@ -120,6 +138,7 @@ FleetReport run_fleet_impl(const std::vector<VolunteerTraces>& traces,
     if (!prep_error[u].empty()) {
       report.failures.push_back(
           {labels[u].id, labels[u].profile_name, "", prep_error[u]});
+      obs::Registry::global().counter("fleet.rows_failed").add(1);
       continue;
     }
     for (std::size_t p = 0; p < m; ++p) {
@@ -160,34 +179,49 @@ FleetReport run_fleet(const std::vector<synth::UserProfile>& profiles,
                       const std::vector<PolicySpec>& policies,
                       const ExperimentConfig& config,
                       unsigned max_threads) {
-  const std::size_t n = profiles.size();
-  std::vector<VolunteerTraces> traces(n);
-  std::vector<UserLabel> labels(n);
-  std::vector<std::string> prep_error(n);
-  parallel_for(n, [&](std::size_t u) {
-    labels[u] = {profiles[u].id, profiles[u].name};
-    try {
-      traces[u] = make_traces(profiles[u], config);
-    } catch (const std::exception& e) {
-      prep_error[u] = e.what();
-    }
-  }, max_threads);
-  return run_fleet_impl(traces, labels, std::move(prep_error), policies,
-                        config, max_threads);
+  FleetReport report;
+  {
+    const obs::SpanScope span("eval.run_fleet");
+    const std::size_t n = profiles.size();
+    std::vector<VolunteerTraces> traces(n);
+    std::vector<UserLabel> labels(n);
+    std::vector<std::string> prep_error(n);
+    parallel_for(n, [&](std::size_t u) {
+      const obs::SpanScope gen_span("fleet.trace_gen");
+      labels[u] = {profiles[u].id, profiles[u].name};
+      try {
+        traces[u] = make_traces(profiles[u], config);
+      } catch (const std::exception& e) {
+        prep_error[u] = e.what();
+      }
+    }, max_threads);
+    report = run_fleet_impl(traces, labels, std::move(prep_error),
+                            policies, config, max_threads);
+  }
+  // Snapshot hook: a fleet run is the natural export boundary, so a
+  // driver only has to set NETMASTER_METRICS_OUT to get telemetry.
+  obs::maybe_export_env();
+  return report;
 }
 
 FleetReport run_fleet(const std::vector<VolunteerTraces>& volunteers,
                       const std::vector<PolicySpec>& policies,
                       const ExperimentConfig& config,
                       unsigned max_threads) {
-  const std::size_t n = volunteers.size();
-  std::vector<UserLabel> labels(n);
-  for (std::size_t u = 0; u < n; ++u) {
-    labels[u] = {volunteers[u].eval.user, "volunteer"};
+  FleetReport report;
+  {
+    const obs::SpanScope span("eval.run_fleet");
+    const std::size_t n = volunteers.size();
+    std::vector<UserLabel> labels(n);
+    for (std::size_t u = 0; u < n; ++u) {
+      labels[u] = {volunteers[u].eval.user, "volunteer"};
+    }
+    report = run_fleet_impl(volunteers, labels,
+                            std::vector<std::string>(n), policies, config,
+                            max_threads);
   }
-  return run_fleet_impl(volunteers, labels,
-                        std::vector<std::string>(n), policies, config,
-                        max_threads);
+  obs::maybe_export_env();
+  return report;
 }
 
 }  // namespace netmaster::eval

@@ -21,6 +21,11 @@ class Table {
   /// Percentage cell ("12.3%").
   static std::string pct(double fraction, int precision = 1);
 
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

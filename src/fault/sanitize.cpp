@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace netmaster::fault {
 
@@ -136,6 +137,27 @@ SanitizeResult sanitize_trace(const UserTrace& raw) {
   // The whole point: the result is valid by construction (validate
   // throws if this ever regresses).
   out.trace.validate();
+
+  // Degradation telemetry: the repair ledger, fleet-wide.
+  struct SanitizeMetrics {
+    obs::Counter& calls;
+    obs::Counter& dropped;
+    obs::Counter& clamped;
+    obs::Counter& slots_repaired;
+    obs::Counter& resorted;
+  };
+  static SanitizeMetrics metrics{
+      obs::Registry::global().counter("fault.sanitize.calls"),
+      obs::Registry::global().counter("fault.sanitize.dropped_events"),
+      obs::Registry::global().counter("fault.sanitize.clamped_events"),
+      obs::Registry::global().counter("fault.sanitize.slots_repaired"),
+      obs::Registry::global().counter("fault.sanitize.resorted_streams"),
+  };
+  metrics.calls.add(1);
+  metrics.dropped.add(rep.dropped_events);
+  metrics.clamped.add(rep.clamped_events);
+  metrics.slots_repaired.add(rep.merged_sessions);
+  metrics.resorted.add(rep.resorted_streams);
   return out;
 }
 

@@ -7,12 +7,36 @@
 
 #include "common/error.hpp"
 #include "engine/radio_timeline.hpp"
+#include "obs/metrics.hpp"
 #include "policy/delay_batch.hpp"
 #include "sched/overlap.hpp"
 
 namespace netmaster::policy {
 
 namespace {
+
+/// Decision/degradation telemetry, resolved once per process.
+struct NetMasterMetrics {
+  obs::Counter& models_mined;
+  obs::Counter& degraded_models;
+  obs::Counter& runs;
+  obs::Counter& fallback_taken;
+  obs::Counter& interrupts;
+  obs::Counter& duty_releases;
+
+  static NetMasterMetrics& get() {
+    obs::Registry& reg = obs::Registry::global();
+    static NetMasterMetrics m{
+        reg.counter("policy.netmaster.models_mined"),
+        reg.counter("policy.netmaster.degraded_models"),
+        reg.counter("policy.netmaster.runs"),
+        reg.counter("policy.netmaster.fallback_taken"),
+        reg.counter("policy.netmaster.interrupts"),
+        reg.counter("policy.netmaster.duty_releases"),
+    };
+    return m;
+  }
+};
 
 /// Releases a fallback activity at the radio opportunity `at` (never
 /// before its arrival, always inside the horizon).
@@ -63,14 +87,20 @@ NetMasterPolicy::NetMasterPolicy(const UserTrace& training,
         << model.data_quality() << ")";
   }
   degraded_reason_ = why.str();
+  NetMasterMetrics& metrics = NetMasterMetrics::get();
+  metrics.models_mined.add(1);
+  if (degraded()) metrics.degraded_models.add(1);
 }
 
 sim::PolicyOutcome NetMasterPolicy::run(
     const engine::TraceIndex& eval) const {
+  NetMasterMetrics& metrics = NetMasterMetrics::get();
+  metrics.runs.add(1);
   if (degraded()) {
     // Safe fallback: the strongest model-free baseline. Keep this
     // policy's name on the outcome so grids stay keyed consistently,
     // but flag the path so reports can tell the runs apart.
+    metrics.fallback_taken.add(1);
     DelayBatchPolicy fallback(config_.robustness.fallback_interval_ms);
     sim::PolicyOutcome outcome = fallback.run(eval);
     outcome.policy_name = name();
@@ -229,6 +259,8 @@ sim::PolicyOutcome NetMasterPolicy::run(
             });
 
   auto finalize = [&]() {
+    metrics.interrupts.add(outcome.interrupts);
+    metrics.duty_releases.add(outcome.duty_releases);
     timeline.allow_transfers(outcome.transfers, kDormancyGraceMs);
     outcome.radio_allowed = std::move(timeline).build();
     return std::move(outcome);

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace netmaster::sched {
 
@@ -150,6 +151,7 @@ KnapResult knapsack_fptas(std::span<const KnapItem> items,
   std::vector<std::vector<bool>> take(candidates.size());
 
   std::int64_t reach = 0;  // highest scaled profit reachable so far
+  std::uint64_t dp_iterations = 0;  // DP cells touched, for telemetry
   for (std::size_t k = 0; k < candidates.size(); ++k) {
     const KnapItem& item = items[candidates[k]];
     const std::int64_t sp = scaled[k];
@@ -157,6 +159,7 @@ KnapResult knapsack_fptas(std::span<const KnapItem> items,
     if (sp == 0) continue;  // contributes < scale; GreedyAdd-style callers
                             // can still pick it up, the bound holds anyway
     reach = std::min(reach + sp, total_scaled);
+    dp_iterations += static_cast<std::uint64_t>(reach - sp + 1);
     for (std::int64_t s = reach; s >= sp; --s) {
       const std::int64_t base = min_weight[static_cast<std::size_t>(s - sp)];
       if (base == kInf) continue;
@@ -189,6 +192,17 @@ KnapResult knapsack_fptas(std::span<const KnapItem> items,
   }
   NM_ASSERT(s == 0, "FPTAS reconstruction must consume the profit");
   NM_ASSERT(result.weight <= capacity, "FPTAS result exceeds capacity");
+
+  struct KnapsackMetrics {
+    obs::Counter& solves;
+    obs::Counter& iterations;
+  };
+  static KnapsackMetrics metrics{
+      obs::Registry::global().counter("sched.knapsack.solves"),
+      obs::Registry::global().counter("sched.knapsack.iterations"),
+  };
+  metrics.solves.add(1);
+  metrics.iterations.add(dp_iterations);
   return result;
 }
 

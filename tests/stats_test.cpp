@@ -37,6 +37,38 @@ TEST(StreamingStats, KnownSample) {
   EXPECT_EQ(s.count(), 8u);
 }
 
+TEST(StreamingStats, AllEqualSamples) {
+  StreamingStats s;
+  for (int i = 0; i < 100; ++i) s.add(3.25);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.25);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.25);
+  EXPECT_DOUBLE_EQ(s.max(), 3.25);
+  EXPECT_EQ(s.count(), 100u);
+}
+
+TEST(StreamingStats, NanRejected) {
+  StreamingStats s;
+  s.add(1.0);
+  s.add(std::nan(""));
+  s.add(3.0);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_EQ(s.rejected(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 4.0);
+  EXPECT_FALSE(std::isnan(s.variance()));
+}
+
+TEST(StreamingStats, AllNanBehavesAsEmpty) {
+  StreamingStats s;
+  s.add(std::nan(""));
+  s.add(std::nan(""));
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.rejected(), 2u);
+  EXPECT_THROW(s.mean(), Error);
+}
+
 TEST(StreamingStats, NegativeValues) {
   StreamingStats s;
   s.add(-5.0);
@@ -59,6 +91,17 @@ TEST(Percentile, SingleElementAndErrors) {
   EXPECT_THROW(percentile({}, 0.5), Error);
   EXPECT_THROW(percentile({1.0}, 1.5), Error);
   EXPECT_THROW(percentile({1.0}, -0.1), Error);
+}
+
+TEST(Percentile, NanDroppedBeforeRanking) {
+  const std::vector<double> v{5.0, std::nan(""), 1.0, std::nan(""), 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+  // An all-NaN sample is empty after filtering; q-range errors still
+  // win over emptiness.
+  EXPECT_THROW(percentile({std::nan("")}, 0.5), Error);
+  EXPECT_THROW(percentile({}, 2.0), Error);
 }
 
 TEST(Pearson, PerfectCorrelation) {
@@ -114,6 +157,28 @@ TEST(EmpiricalCdf, EmptyInput) {
   EXPECT_TRUE(empirical_cdf({}).empty());
 }
 
+TEST(EmpiricalCdf, SingleSample) {
+  const auto cdf = empirical_cdf({4.2});
+  ASSERT_EQ(cdf.size(), 1u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 4.2);
+  EXPECT_DOUBLE_EQ(cdf[0].fraction, 1.0);
+}
+
+TEST(EmpiricalCdf, AllEqualCollapsesToOnePoint) {
+  const auto cdf = empirical_cdf({2.0, 2.0, 2.0, 2.0});
+  ASSERT_EQ(cdf.size(), 1u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(cdf[0].fraction, 1.0);
+}
+
+TEST(EmpiricalCdf, NanDropped) {
+  const auto cdf = empirical_cdf({std::nan(""), 1.0, std::nan(""), 2.0});
+  ASSERT_EQ(cdf.size(), 2u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[0].fraction, 0.5);
+  EXPECT_TRUE(empirical_cdf({std::nan("")}).empty());
+}
+
 TEST(CdfQuantile, Lookup) {
   const auto cdf = empirical_cdf({1.0, 2.0, 3.0, 4.0});
   EXPECT_DOUBLE_EQ(cdf_quantile(cdf, 0.25), 1.0);
@@ -135,6 +200,15 @@ TEST(Histogram, BinningAndSaturation) {
   EXPECT_EQ(h.total(), 5u);
   EXPECT_DOUBLE_EQ(h.fraction(2), 0.2);
   EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+}
+
+TEST(Histogram, NanRejected) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(5.0);
+  h.add(std::nan(""));
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.rejected(), 1u);
+  EXPECT_DOUBLE_EQ(h.fraction(2), 1.0);  // NaN never dilutes fractions
 }
 
 TEST(Histogram, Errors) {
