@@ -1,14 +1,16 @@
 // Ablation — component knock-out study (DESIGN.md): the full system
 // versus NetMaster with prediction, duty cycling, or special-app
 // tracking disabled, quantifying each component's contribution to
-// energy saving and user experience.
+// energy saving and user experience. Both the knock-out table and the
+// ε-sensitivity table replay against one cached EvalSession.
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "eval/experiments.hpp"
-#include "policy/baseline.hpp"
+#include "eval/fleet.hpp"
+#include "eval/session.hpp"
+#include "eval/sweep.hpp"
 #include "policy/netmaster.hpp"
-#include "sim/accounting.hpp"
 #include "synth/presets.hpp"
 
 namespace {
@@ -20,8 +22,8 @@ void print_figure() {
                 "each component's contribution to saving / UX");
   eval::ExperimentConfig cfg;
   cfg.seed = bench::kDefaultSeed;
-  const auto rows =
-      eval::ablation_study(synth::volunteer_population(), cfg);
+  const eval::EvalSession session(synth::volunteer_population(), cfg);
+  const auto rows = eval::ablation_study(session);
 
   eval::Table t({"variant", "energy saving", "affected users",
                  "mean deferral (s)", "duty wake-ups"});
@@ -38,32 +40,43 @@ void print_figure() {
                "special apps raises interrupts\n";
 
   // ε sensitivity end to end (the paper fixes ε = 0.1 "to guarantee
-  // good performance while control the computational overhead").
+  // good performance while control the computational overhead"). One
+  // more sweep over the same session: the points are ε values and each
+  // point's roster is a single NetMaster variant.
   std::cout << "\nSinKnap ε sensitivity (end-to-end, 3 volunteers)\n";
   eval::Table e({"eps", "energy saving", "affected users"});
-  for (double eps : {0.01, 0.1, 0.5, 0.9}) {
-    double saving = 0.0, affected = 0.0;
-    for (const synth::UserProfile& profile :
-         synth::volunteer_population()) {
-      const eval::VolunteerTraces traces =
-          eval::make_traces(profile, cfg);
-      policy::NetMasterConfig nm = cfg.netmaster;
-      nm.eps = eps;
-      const policy::NetMasterPolicy p(traces.training, nm);
-      const policy::BaselinePolicy baseline;
-      const RadioPowerParams& radio = cfg.netmaster.profit.radio;
-      const sim::SimReport base =
-          sim::account(traces.eval, baseline.run(traces.eval), radio);
-      const sim::SimReport rep =
-          sim::account(traces.eval, p.run(traces.eval), radio);
-      if (base.energy_j > 0.0) {
-        saving += 1.0 - rep.energy_j / base.energy_j;
-      }
-      affected += rep.affected_fraction;
-    }
-    e.add_row({eval::Table::num(eps, 2), eval::Table::pct(saving / 3.0),
-               eval::Table::pct(affected / 3.0, 2)});
-  }
+  const std::vector<double> eps_values = {0.01, 0.1, 0.5, 0.9};
+  eval::sweep(
+      session, eps_values,
+      [&cfg](double eps) {
+        policy::NetMasterConfig nm = cfg.netmaster;
+        nm.eps = eps;
+        std::vector<eval::PolicySpec> specs;
+        specs.push_back(
+            {"netmaster-eps",
+             [nm](const UserTrace& training) {
+               return std::make_unique<policy::NetMasterPolicy>(training,
+                                                                nm);
+             },
+             {}});
+        return specs;
+      },
+      [&](double eps, const eval::FleetReport& report) {
+        double saving = 0.0, affected = 0.0;
+        std::size_t n = 0;
+        for (std::size_t u = 0; u < report.num_users; ++u) {
+          const eval::FleetCell& cell = report.at(u, 0);
+          if (cell.failed) continue;
+          ++n;
+          saving += cell.energy_saving;
+          affected += cell.report.affected_fraction;
+        }
+        const double count = n > 0 ? static_cast<double>(n) : 1.0;
+        e.add_row({eval::Table::num(eps, 2),
+                   eval::Table::pct(saving / count),
+                   eval::Table::pct(affected / count, 2)});
+        return 0;
+      });
   bench::emit(e);
   std::cout << "expected shape: savings barely move with ε on trace "
                "workloads (capacity rarely binds) — ε = 0.1 is a safe "
@@ -80,6 +93,20 @@ void BM_AblationFull(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AblationFull)->Unit(benchmark::kMillisecond);
+
+void BM_AblationFullCached(benchmark::State& state) {
+  static const eval::EvalSession session = [] {
+    eval::ExperimentConfig cfg;
+    cfg.seed = bench::kDefaultSeed;
+    return eval::EvalSession(
+        std::vector<synth::UserProfile>{synth::volunteer_population().front()},
+        cfg);
+  }();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval::ablation_study(session));
+  }
+}
+BENCHMARK(BM_AblationFullCached)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

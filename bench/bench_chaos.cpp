@@ -190,6 +190,20 @@ void BM_ChaosFleet8(benchmark::State& state) {
 }
 BENCHMARK(BM_ChaosFleet8)->Unit(benchmark::kMillisecond)->UseRealTime();
 
+void BM_ChaosFleet8Cached(benchmark::State& state) {
+  // Same grid, but trace injection + indexing + baselines are paid once
+  // in the session instead of on every run.
+  const eval::ExperimentConfig cfg = config();
+  const auto suite = eval::standard_policy_suite(cfg.netmaster);
+  static const eval::EvalSession session(chaos_volunteers(0.2), config());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval::run_fleet(session, suite));
+  }
+}
+BENCHMARK(BM_ChaosFleet8Cached)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 }  // namespace
 
 NETMASTER_BENCH_MAIN()

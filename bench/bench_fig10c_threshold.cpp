@@ -7,6 +7,7 @@
 
 #include "bench_common.hpp"
 #include "eval/experiments.hpp"
+#include "eval/session.hpp"
 #include "synth/presets.hpp"
 
 namespace {
@@ -21,8 +22,8 @@ void print_figure() {
                 "accuracy falls / saving rises with δ; crossover ≈ 0.37");
   eval::ExperimentConfig cfg;
   cfg.seed = bench::kDefaultSeed;
-  const auto points = eval::threshold_sweep(synth::study_population(),
-                                            kDeltas, cfg);
+  const eval::EvalSession session(synth::study_population(), cfg);
+  const auto points = eval::threshold_sweep(session, kDeltas);
 
   eval::Table t({"delta", "prediction accuracy", "energy saving"});
   double crossover = -1.0;
@@ -59,6 +60,18 @@ void BM_ThresholdPoint(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ThresholdPoint)->Unit(benchmark::kMillisecond);
+
+void BM_ThresholdPointCached(benchmark::State& state) {
+  static const eval::EvalSession session = [] {
+    eval::ExperimentConfig cfg;
+    cfg.seed = bench::kDefaultSeed;
+    return eval::EvalSession(synth::volunteer_population(), cfg);
+  }();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval::threshold_sweep(session, {0.2}));
+  }
+}
+BENCHMARK(BM_ThresholdPointCached)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -9,6 +9,7 @@
 
 #include "bench_common.hpp"
 #include "eval/experiments.hpp"
+#include "eval/session.hpp"
 #include "synth/presets.hpp"
 
 namespace {
@@ -25,8 +26,8 @@ void print_figure() {
   bench::banner("Fig. 7 — NetMaster vs baselines (3 volunteers)",
                 "energy -77.8%, radio-on -75.39%, bandwidth x3.84/x2.63, "
                 "oracle gap < 5%");
-  const auto volunteers = synth::volunteer_population();
-  const auto results = eval::compare_all(volunteers, config());
+  const eval::EvalSession session(synth::volunteer_population(), config());
+  const auto results = eval::compare_all(session);
 
   std::cout << "\n(a) radio energy saving\n";
   eval::Table a({"volunteer", "policy", "energy (J)", "saving",
@@ -115,6 +116,15 @@ void BM_CompareOneVolunteer(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CompareOneVolunteer)->Unit(benchmark::kMillisecond);
+
+void BM_CompareAllCached(benchmark::State& state) {
+  static const eval::EvalSession session(synth::volunteer_population(),
+                                         config());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval::compare_all(session));
+  }
+}
+BENCHMARK(BM_CompareAllCached)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

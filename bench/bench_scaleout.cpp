@@ -114,9 +114,11 @@ void print_figure() {
 // refactor: each (user, policy) cell regenerates the volunteer's traces
 // (the per-point sweeps called make_traces per point per profile) and
 // each policy rebuilds its own session state from the raw trace.
-// The fleet path (eval::run_fleet) generates and indexes every user's
-// trace once, shares the engine::TraceIndex across all policies, and
-// parallelizes over the full N×M grid.
+// The fleet path (eval::run_fleet over an eval::EvalSession) generates
+// and indexes every user's trace once, shares the engine::TraceIndex
+// across all policies, and parallelizes over the full N×M grid. The
+// sweep-level amortization of the same cache is measured in
+// bench_fig8_delay_sweep / bench_fig9_batch_sweep.
 
 std::vector<double> legacy_sweep_energy(
     const std::vector<synth::UserProfile>& users,

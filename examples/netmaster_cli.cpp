@@ -15,6 +15,7 @@
 
 #include "eval/battery.hpp"
 #include "eval/experiments.hpp"
+#include "eval/session.hpp"
 #include "eval/table.hpp"
 #include "policy/baseline.hpp"
 #include "policy/batch.hpp"
@@ -147,10 +148,17 @@ int cmd_evaluate(int argc, char** argv) {
 int cmd_compare(int argc, char** argv) {
   eval::ExperimentConfig cfg;
   if (argc > 2) cfg.seed = std::strtoull(argv[2], nullptr, 10);
-  const auto results =
-      eval::compare_all(synth::volunteer_population(), cfg);
+  const eval::EvalSession session(synth::volunteer_population(), cfg);
+  const auto results = eval::compare_all(session);
   eval::Table t({"volunteer", "policy", "saving", "affected"});
-  for (const auto& r : results) {
+  for (std::size_t u = 0; u < results.size(); ++u) {
+    const auto& r = results[u];
+    if (!session.ok(u)) {
+      std::cerr << "volunteer " << r.user << " (" << r.profile_name
+                << ") could not be prepared: " << session.prep_error(u)
+                << "\n";
+      continue;
+    }
     for (const auto& row : r.rows) {
       t.add_row({std::to_string(r.user) + ":" + r.profile_name,
                  row.policy, eval::Table::pct(row.energy_saving),

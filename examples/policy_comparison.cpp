@@ -1,22 +1,23 @@
-// Policy comparison across the whole 8-user study population: baseline,
-// fixed-interval delay, batch-N, delay&batch, NetMaster and the oracle,
-// with the full metric set. A wider view than the paper's 3-volunteer
-// table (Fig. 7).
+// Policy comparison across the whole 8-user study population: the
+// standard §VI suite (baseline, oracle, NetMaster, delay&batch at
+// 10/20/60 s) extended with fixed delay-60 and batch-5, with the full
+// metric set. A wider view than the paper's 3-volunteer table (Fig. 7).
+//
+// One eval::EvalSession prepares every user's traces, index and
+// baseline; one eval::run_fleet call evaluates the whole grid. The
+// per-user tables come from the fleet cells and the population
+// averages from the per-policy aggregates.
 //
 //   $ ./policy_comparison [seed]
 #include <cstdlib>
 #include <iostream>
 #include <memory>
 
-#include "common/stats.hpp"
-#include "eval/experiments.hpp"
+#include "eval/fleet.hpp"
+#include "eval/session.hpp"
 #include "eval/table.hpp"
-#include "policy/baseline.hpp"
 #include "policy/batch.hpp"
 #include "policy/delay.hpp"
-#include "policy/delay_batch.hpp"
-#include "policy/netmaster.hpp"
-#include "policy/oracle.hpp"
 #include "synth/presets.hpp"
 
 int main(int argc, char** argv) {
@@ -24,56 +25,68 @@ int main(int argc, char** argv) {
 
   eval::ExperimentConfig cfg;
   if (argc > 1) cfg.seed = std::strtoull(argv[1], nullptr, 10);
-  const RadioPowerParams radio = cfg.netmaster.profit.radio;
 
   std::cout << "Policy comparison over the 8-user study population "
             << "(train " << cfg.train_days << "d, eval " << cfg.eval_days
             << "d, seed " << cfg.seed << ")\n\n";
 
-  StreamingStats nm_saving, oracle_saving;
-  for (const synth::UserProfile& profile : synth::study_population()) {
-    const eval::VolunteerTraces traces = eval::make_traces(profile, cfg);
+  auto suite = eval::standard_policy_suite(cfg.netmaster);
+  suite.push_back({"delay-60s",
+                   [](const UserTrace&) {
+                     return std::make_unique<policy::DelayPolicy>(
+                         seconds(60));
+                   },
+                   {}});
+  suite.push_back({"batch-5",
+                   [](const UserTrace&) {
+                     return std::make_unique<policy::BatchPolicy>(5);
+                   },
+                   {}});
 
-    std::vector<std::unique_ptr<policy::Policy>> policies;
-    policies.push_back(std::make_unique<policy::BaselinePolicy>());
-    policies.push_back(std::make_unique<policy::DelayPolicy>(seconds(60)));
-    policies.push_back(std::make_unique<policy::BatchPolicy>(5));
-    policies.push_back(
-        std::make_unique<policy::DelayBatchPolicy>(seconds(60)));
-    policies.push_back(std::make_unique<policy::NetMasterPolicy>(
-        traces.training, cfg.netmaster));
-    policies.push_back(
-        std::make_unique<policy::OraclePolicy>(cfg.netmaster.profit));
+  const eval::EvalSession session(synth::study_population(), cfg);
+  const eval::FleetReport report = eval::run_fleet(session, suite);
 
+  for (std::size_t u = 0; u < session.num_users(); ++u) {
+    std::cout << "== user " << session.user_id(u) << " ("
+              << session.profile_name(u) << ") ==\n";
+    if (!session.ok(u)) {
+      std::cout << "  skipped: " << session.prep_error(u) << "\n\n";
+      continue;
+    }
     eval::Table table({"policy", "energy (J)", "saving", "radio-on (min)",
                        "avg down (kB/s)", "affected", "deferrals",
                        "mean wait (s)"});
-    double base_energy = 0.0;
-    for (const auto& p : policies) {
-      const sim::SimReport rep =
-          sim::account(traces.eval, p->run(traces.eval), radio);
-      if (p->name() == "baseline") base_energy = rep.energy_j;
-      const double saving =
-          base_energy > 0.0 ? 1.0 - rep.energy_j / base_energy : 0.0;
-      if (p->name() == "netmaster") nm_saving.add(saving);
-      if (p->name() == "oracle") oracle_saving.add(saving);
+    for (std::size_t p = 0; p < suite.size(); ++p) {
+      const eval::FleetCell& cell = report.at(u, p);
+      if (cell.failed) {
+        std::cout << "  " << cell.policy << " failed: " << cell.error
+                  << "\n";
+        continue;
+      }
+      const sim::SimReport& rep = cell.report;
       table.add_row(
-          {p->name(), eval::Table::num(rep.energy_j, 0),
-           eval::Table::pct(saving),
+          {cell.policy, eval::Table::num(rep.energy_j, 0),
+           eval::Table::pct(cell.energy_saving),
            eval::Table::num(to_seconds(rep.radio_on_ms) / 60.0, 1),
            eval::Table::num(rep.avg_down_rate_kbps, 2),
            eval::Table::pct(rep.affected_fraction),
            std::to_string(rep.deferred_count),
            eval::Table::num(rep.mean_deferral_latency_s, 0)});
     }
-    std::cout << "== user " << profile.id << " (" << profile.name
-              << ") ==\n";
     table.print(std::cout);
     std::cout << '\n';
   }
 
+  double nm_saving = 0.0, oracle_saving = 0.0;
+  for (const eval::FleetAggregate& agg : report.aggregates) {
+    if (agg.policy == "netmaster") nm_saving = agg.energy_saving.mean();
+    if (agg.policy == "oracle") oracle_saving = agg.energy_saving.mean();
+  }
   std::cout << "population averages: NetMaster saving "
-            << eval::Table::pct(nm_saving.mean()) << ", oracle "
-            << eval::Table::pct(oracle_saving.mean()) << '\n';
+            << eval::Table::pct(nm_saving) << ", oracle "
+            << eval::Table::pct(oracle_saving) << '\n';
+  if (!report.failures.size()) return 0;
+  std::cerr << report.failures.size()
+            << " isolated failure(s) — see messages above\n";
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
+#include <cstdlib>
 #include <exception>
 #include <limits>
 #include <mutex>
@@ -67,8 +68,24 @@ class ParallelTaskError : public Error {
   std::exception_ptr cause_;
 };
 
+/// Default worker cap when a parallel_for caller passes 0: the
+/// NETMASTER_THREADS environment variable (read once per process) when
+/// set to a positive integer, hardware_concurrency otherwise. Lets CI
+/// rerun the whole suite single-threaded to flush nondeterminism
+/// without plumbing a thread count through every entry point.
+inline unsigned default_max_threads() {
+  static const unsigned cached = [] {
+    if (const char* env = std::getenv("NETMASTER_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<unsigned>(v);
+    }
+    return std::thread::hardware_concurrency();
+  }();
+  return cached;
+}
+
 /// Invokes fn(i) for every i in [0, count), distributing indices across
-/// up to `max_threads` hardware threads (0 = hardware_concurrency).
+/// up to `max_threads` hardware threads (0 = default_max_threads()).
 /// fn must be safe to call concurrently for distinct indices. When
 /// invocations throw, the failure at the lowest index (deterministic in
 /// the input, not in thread timing) is rethrown on the caller as a
@@ -78,8 +95,7 @@ template <typename Fn>
 void parallel_for(std::size_t count, Fn&& fn,
                   unsigned max_threads = 0) {
   if (count == 0) return;
-  unsigned hw = max_threads != 0 ? max_threads
-                                 : std::thread::hardware_concurrency();
+  unsigned hw = max_threads != 0 ? max_threads : default_max_threads();
   if (hw == 0) hw = 1;
   const std::size_t workers =
       std::min<std::size_t>(hw, count);

@@ -2,37 +2,31 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
 
 #include "common/error.hpp"
-#include "common/parallel.hpp"
-#include "engine/trace_index.hpp"
+#include "eval/fleet.hpp"
+#include "eval/sweep.hpp"
 #include "mining/habits.hpp"
 #include "policy/baseline.hpp"
 #include "policy/batch.hpp"
 #include "policy/delay.hpp"
-#include "policy/delay_batch.hpp"
+#include "policy/netmaster.hpp"
 #include "policy/oracle.hpp"
-#include "synth/generator.hpp"
 
 namespace netmaster::eval {
 
 namespace {
 
-ComparisonRow make_row(const policy::Policy& p,
-                       const engine::TraceIndex& index,
-                       const sim::SimReport& baseline,
-                       const RadioPowerParams& radio) {
+/// Derives a ComparisonRow from one fleet cell and the user's baseline
+/// reference report.
+ComparisonRow cell_row(const FleetCell& cell,
+                       const sim::SimReport& baseline) {
   ComparisonRow row;
-  row.policy = p.name();
-  row.report = sim::account(index.trace(), p.run(index), radio);
-  if (baseline.energy_j > 0.0) {
-    row.energy_saving = 1.0 - row.report.energy_j / baseline.energy_j;
-  }
-  if (baseline.radio_on_ms > 0) {
-    row.radio_on_fraction =
-        static_cast<double>(row.report.radio_on_ms) /
-        static_cast<double>(baseline.radio_on_ms);
-  }
+  row.policy = cell.policy;
+  row.report = cell.report;
+  row.energy_saving = cell.energy_saving;
+  row.radio_on_fraction = cell.radio_on_fraction;
   auto ratio = [](double v, double base) {
     return base > 0.0 ? v / base : 0.0;
   };
@@ -47,268 +41,287 @@ ComparisonRow make_row(const policy::Policy& p,
   return row;
 }
 
-/// Per-profile state every sweep point replays against: the train/eval
-/// split, the evaluation-trace index, and the baseline reference report.
-/// Built once per sweep so the points only pay for their own policy
-/// runs, not for regenerating traces.
-struct SharedProfiles {
-  std::vector<VolunteerTraces> traces;
-  std::vector<std::unique_ptr<engine::TraceIndex>> index;
-  std::vector<sim::SimReport> baseline;
-};
+/// Folds one sweep point's single-policy column into the averaged
+/// Fig. 8 / Fig. 9 metrics, in fixed user order. Failed cells are
+/// skipped (and shrink the denominator) instead of aborting the sweep.
+SweepPoint reduce_sweep_point(double x, const EvalSession& session,
+                              const FleetReport& report) {
+  SweepPoint point;
+  point.x = x;
+  std::size_t n = 0;
+  for (std::size_t u = 0; u < session.num_users(); ++u) {
+    const FleetCell& cell = report.at(u, 0);
+    if (cell.failed) continue;
+    ++n;
+    const sim::SimReport& base = session.baseline(u);
+    point.energy_saving += cell.energy_saving;
+    if (base.radio_on_ms > 0) {
+      point.radio_on_reduction += 1.0 - cell.radio_on_fraction;
+    }
+    if (base.avg_down_rate_kbps > 0.0) {
+      point.bandwidth_increase +=
+          cell.report.avg_down_rate_kbps / base.avg_down_rate_kbps - 1.0;
+    }
+    point.affected_fraction += cell.report.affected_fraction;
+  }
+  if (n > 0) {
+    const auto count = static_cast<double>(n);
+    point.energy_saving /= count;
+    point.radio_on_reduction /= count;
+    point.bandwidth_increase /= count;
+    point.affected_fraction /= count;
+  }
+  return point;
+}
 
-SharedProfiles prepare_shared(const std::vector<synth::UserProfile>& profiles,
-                              const ExperimentConfig& config) {
-  SharedProfiles shared;
-  const std::size_t n = profiles.size();
-  shared.traces.resize(n);
-  shared.index.resize(n);
-  shared.baseline.resize(n);
-  const RadioPowerParams& radio = config.netmaster.profit.radio;
-  parallel_for(n, [&](std::size_t i) {
-    shared.traces[i] = make_traces(profiles[i], config);
-    shared.index[i] =
-        std::make_unique<engine::TraceIndex>(shared.traces[i].eval);
-    const policy::BaselinePolicy baseline;
-    shared.baseline[i] = sim::account(shared.traces[i].eval,
-                                      baseline.run(*shared.index[i]), radio);
-  });
-  return shared;
+PolicySpec baseline_spec() {
+  return {"baseline",
+          [](const UserTrace&) {
+            return std::make_unique<policy::BaselinePolicy>();
+          },
+          {}};
 }
 
 }  // namespace
 
-VolunteerTraces make_traces(const synth::UserProfile& profile,
-                            const ExperimentConfig& config) {
-  NM_REQUIRE(config.train_days > 0 && config.eval_days > 0,
-             "train/eval day counts must be positive");
-  NM_REQUIRE(config.train_days % 7 == 0,
-             "train_days must be whole weeks to keep the weekday/weekend "
-             "regimes aligned between training and evaluation");
-  const int total = config.train_days + config.eval_days;
-  const UserTrace full =
-      synth::generate_trace(profile, total, config.seed);
-  return {full.slice_days(0, config.train_days),
-          full.slice_days(config.train_days, config.eval_days)};
-}
+std::vector<VolunteerComparison> compare_all(const EvalSession& session,
+                                             unsigned max_threads) {
+  const auto suite = standard_policy_suite(session.config().netmaster);
+  const FleetReport report = run_fleet(session, suite, max_threads);
 
-VolunteerComparison compare_policies(const synth::UserProfile& profile,
-                                     const ExperimentConfig& config) {
-  const VolunteerTraces traces = make_traces(profile, config);
-  const engine::TraceIndex index(traces.eval);
-  const RadioPowerParams& radio = config.netmaster.profit.radio;
-
-  VolunteerComparison result;
-  result.user = profile.id;
-  result.profile_name = profile.name;
-
-  const policy::BaselinePolicy baseline;
-  result.baseline =
-      sim::account(traces.eval, baseline.run(index), radio);
-
-  std::vector<std::unique_ptr<policy::Policy>> policies;
-  policies.push_back(std::make_unique<policy::OraclePolicy>(
-      config.netmaster.profit));
-  policies.push_back(std::make_unique<policy::NetMasterPolicy>(
-      traces.training, config.netmaster));
-  policies.push_back(
-      std::make_unique<policy::DelayBatchPolicy>(seconds(10)));
-  policies.push_back(
-      std::make_unique<policy::DelayBatchPolicy>(seconds(20)));
-  policies.push_back(
-      std::make_unique<policy::DelayBatchPolicy>(seconds(60)));
-
-  result.rows.push_back(
-      make_row(baseline, index, result.baseline, radio));
-  for (const auto& p : policies) {
-    result.rows.push_back(make_row(*p, index, result.baseline, radio));
+  std::vector<VolunteerComparison> results(session.num_users());
+  for (std::size_t u = 0; u < session.num_users(); ++u) {
+    VolunteerComparison& cmp = results[u];
+    cmp.user = session.user_id(u);
+    cmp.profile_name = session.profile_name(u);
+    if (!session.ok(u)) continue;  // rows stay empty; see FleetFailure
+    cmp.baseline = session.baseline(u);
+    cmp.rows.reserve(suite.size());
+    for (std::size_t p = 0; p < suite.size(); ++p) {
+      cmp.rows.push_back(cell_row(report.at(u, p), cmp.baseline));
+    }
   }
-  return result;
+  return results;
 }
 
 std::vector<VolunteerComparison> compare_all(
     const std::vector<synth::UserProfile>& profiles,
-    const ExperimentConfig& config) {
-  std::vector<VolunteerComparison> results(profiles.size());
-  parallel_for(profiles.size(), [&](std::size_t i) {
-    results[i] = compare_policies(profiles[i], config);
-  });
-  return results;
+    const ExperimentConfig& config, unsigned max_threads) {
+  const EvalSession session(profiles, config, max_threads);
+  return compare_all(session, max_threads);
 }
 
-namespace {
-
-/// Runs one parameterized policy over every shared profile and averages
-/// the sweep metrics.
-template <typename MakePolicy>
-SweepPoint sweep_point(double x, const SharedProfiles& shared,
-                       const ExperimentConfig& config,
-                       MakePolicy&& make_policy) {
-  SweepPoint point;
-  point.x = x;
-  const RadioPowerParams& radio = config.netmaster.profit.radio;
-  for (std::size_t i = 0; i < shared.index.size(); ++i) {
-    const sim::SimReport& base = shared.baseline[i];
-    const auto p = make_policy();
-    const sim::SimReport rep = sim::account(
-        shared.traces[i].eval, p->run(*shared.index[i]), radio);
-
-    if (base.energy_j > 0.0) {
-      point.energy_saving += 1.0 - rep.energy_j / base.energy_j;
-    }
-    if (base.radio_on_ms > 0) {
-      point.radio_on_reduction +=
-          1.0 - static_cast<double>(rep.radio_on_ms) /
-                    static_cast<double>(base.radio_on_ms);
-    }
-    if (base.avg_down_rate_kbps > 0.0) {
-      point.bandwidth_increase +=
-          rep.avg_down_rate_kbps / base.avg_down_rate_kbps - 1.0;
-    }
-    point.affected_fraction += rep.affected_fraction;
-  }
-  const auto n = static_cast<double>(shared.index.size());
-  point.energy_saving /= n;
-  point.radio_on_reduction /= n;
-  point.bandwidth_increase /= n;
-  point.affected_fraction /= n;
-  return point;
+VolunteerComparison compare_policies(const synth::UserProfile& profile,
+                                     const ExperimentConfig& config) {
+  const EvalSession session({profile}, config);
+  if (!session.ok(0)) throw Error(session.prep_error(0));
+  return std::move(compare_all(session).front());
 }
 
-}  // namespace
+std::vector<SweepPoint> delay_sweep(const EvalSession& session,
+                                    const std::vector<double>& delays_s,
+                                    unsigned max_threads) {
+  return sweep(
+      session, delays_s,
+      [](double d) {
+        std::vector<PolicySpec> specs;
+        if (d <= 0.0) {
+          specs.push_back(baseline_spec());
+        } else {
+          specs.push_back(
+              {"delay-" + std::to_string(static_cast<int>(d)) + "s",
+               [d](const UserTrace&) {
+                 return std::make_unique<policy::DelayPolicy>(seconds(d));
+               },
+               {}});
+        }
+        return specs;
+      },
+      [&session](double d, const FleetReport& report) {
+        return reduce_sweep_point(d, session, report);
+      },
+      max_threads);
+}
 
 std::vector<SweepPoint> delay_sweep(
     const std::vector<synth::UserProfile>& profiles,
-    const std::vector<double>& delays_s, const ExperimentConfig& config) {
-  const SharedProfiles shared = prepare_shared(profiles, config);
-  std::vector<SweepPoint> points(delays_s.size());
-  parallel_for(delays_s.size(), [&](std::size_t i) {
-    const double d = delays_s[i];
-    if (d <= 0.0) {
-      points[i] = sweep_point(d, shared, config, [] {
-        return std::make_unique<policy::BaselinePolicy>();
-      });
-    } else {
-      points[i] = sweep_point(d, shared, config, [d] {
-        return std::make_unique<policy::DelayPolicy>(seconds(d));
-      });
-    }
-  });
-  return points;
+    const std::vector<double>& delays_s, const ExperimentConfig& config,
+    unsigned max_threads) {
+  const EvalSession session(profiles, config, max_threads);
+  return delay_sweep(session, delays_s, max_threads);
+}
+
+std::vector<SweepPoint> batch_sweep(const EvalSession& session,
+                                    const std::vector<std::size_t>& sizes,
+                                    unsigned max_threads) {
+  return sweep(
+      session, sizes,
+      [](std::size_t n) {
+        std::vector<PolicySpec> specs;
+        specs.push_back({"batch-" + std::to_string(n),
+                         [n](const UserTrace&) {
+                           return std::make_unique<policy::BatchPolicy>(n);
+                         },
+                         {}});
+        return specs;
+      },
+      [&session](std::size_t n, const FleetReport& report) {
+        return reduce_sweep_point(static_cast<double>(n), session, report);
+      },
+      max_threads);
 }
 
 std::vector<SweepPoint> batch_sweep(
     const std::vector<synth::UserProfile>& profiles,
-    const std::vector<std::size_t>& sizes,
-    const ExperimentConfig& config) {
-  const SharedProfiles shared = prepare_shared(profiles, config);
-  std::vector<SweepPoint> points(sizes.size());
-  parallel_for(sizes.size(), [&](std::size_t i) {
-    const std::size_t n = sizes[i];
-    points[i] =
-        sweep_point(static_cast<double>(n), shared, config, [n] {
-          return std::make_unique<policy::BatchPolicy>(n);
-        });
-  });
-  return points;
+    const std::vector<std::size_t>& sizes, const ExperimentConfig& config,
+    unsigned max_threads) {
+  const EvalSession session(profiles, config, max_threads);
+  return batch_sweep(session, sizes, max_threads);
+}
+
+std::vector<ThresholdPoint> threshold_sweep(
+    const EvalSession& session, const std::vector<double>& deltas,
+    unsigned max_threads) {
+  // The oracle report is δ-invariant: one fleet column per user,
+  // computed once instead of once per sweep point.
+  std::vector<PolicySpec> oracle_suite;
+  oracle_suite.push_back(
+      {"oracle",
+       [profit = session.config().netmaster.profit](const UserTrace&) {
+         return std::make_unique<policy::OraclePolicy>(profit);
+       },
+       {}});
+  const FleetReport oracle = run_fleet(session, oracle_suite, max_threads);
+
+  const policy::NetMasterConfig& base_nm = session.config().netmaster;
+  return sweep(
+      session, deltas,
+      [&base_nm](double delta) {
+        policy::NetMasterConfig nm = base_nm;
+        nm.predictor.delta_weekday = delta;
+        nm.predictor.delta_weekend = delta;
+        nm.slot_powered_radio = true;  // the paper's Fig. 10c setting
+        std::vector<PolicySpec> specs;
+        specs.push_back(
+            {"netmaster",
+             [nm](const UserTrace& training) {
+               return std::make_unique<policy::NetMasterPolicy>(training,
+                                                                nm);
+             },
+             // Fig. 10c's y axis that lives on the policy, not in the
+             // SimReport: the predictor's accuracy on the eval trace.
+             [](const policy::Policy& p, const VolunteerTraces& traces) {
+               const auto& netmaster =
+                   static_cast<const policy::NetMasterPolicy&>(p);
+               return mining::prediction_accuracy(netmaster.predictor(),
+                                                  traces.eval);
+             }});
+        return specs;
+      },
+      [&session, &oracle](double delta, const FleetReport& report) {
+        ThresholdPoint point;
+        point.delta = delta;
+        std::size_t n = 0;
+        for (std::size_t u = 0; u < session.num_users(); ++u) {
+          const FleetCell& cell = report.at(u, 0);
+          const FleetCell& oracle_cell = oracle.at(u, 0);
+          if (cell.failed || oracle_cell.failed) continue;
+          ++n;
+          point.accuracy += cell.probe_value;
+          const sim::SimReport& base = session.baseline(u);
+          const double saving = base.energy_j - cell.report.energy_j;
+          const double oracle_saving =
+              base.energy_j - oracle_cell.report.energy_j;
+          if (oracle_saving > 0.0) {
+            point.energy_saving +=
+                std::max(saving, 0.0) / oracle_saving;
+          }
+        }
+        if (n > 0) {
+          point.accuracy /= static_cast<double>(n);
+          point.energy_saving /= static_cast<double>(n);
+        }
+        return point;
+      },
+      max_threads);
 }
 
 std::vector<ThresholdPoint> threshold_sweep(
     const std::vector<synth::UserProfile>& profiles,
-    const std::vector<double>& deltas, const ExperimentConfig& config) {
-  const SharedProfiles shared = prepare_shared(profiles, config);
-  const RadioPowerParams& radio = config.netmaster.profit.radio;
-
-  // The oracle report is δ-invariant: compute it once per profile
-  // instead of once per sweep point.
-  std::vector<sim::SimReport> oracle_reports(profiles.size());
-  parallel_for(profiles.size(), [&](std::size_t i) {
-    const policy::OraclePolicy oracle(config.netmaster.profit);
-    oracle_reports[i] = sim::account(shared.traces[i].eval,
-                                     oracle.run(*shared.index[i]), radio);
-  });
-
-  std::vector<ThresholdPoint> points(deltas.size());
-  parallel_for(deltas.size(), [&](std::size_t i) {
-    ThresholdPoint point;
-    point.delta = deltas[i];
-    for (std::size_t u = 0; u < profiles.size(); ++u) {
-      const VolunteerTraces& traces = shared.traces[u];
-
-      policy::NetMasterConfig nm = config.netmaster;
-      nm.predictor.delta_weekday = deltas[i];
-      nm.predictor.delta_weekend = deltas[i];
-      nm.slot_powered_radio = true;  // the paper's Fig. 10c setting
-      const policy::NetMasterPolicy netmaster(traces.training, nm);
-      point.accuracy +=
-          mining::prediction_accuracy(netmaster.predictor(), traces.eval);
-
-      const sim::SimReport& base = shared.baseline[u];
-      const sim::SimReport rep = sim::account(
-          traces.eval, netmaster.run(*shared.index[u]), radio);
-      const sim::SimReport& orep = oracle_reports[u];
-
-      const double saving = base.energy_j - rep.energy_j;
-      const double oracle_saving = base.energy_j - orep.energy_j;
-      if (oracle_saving > 0.0) {
-        point.energy_saving += std::max(saving, 0.0) / oracle_saving;
-      }
-    }
-    const auto n = static_cast<double>(profiles.size());
-    point.accuracy /= n;
-    point.energy_saving /= n;
-    points[i] = point;
-  });
-  return points;
+    const std::vector<double>& deltas, const ExperimentConfig& config,
+    unsigned max_threads) {
+  const EvalSession session(profiles, config, max_threads);
+  return threshold_sweep(session, deltas, max_threads);
 }
 
-std::vector<AblationRow> ablation_study(
-    const std::vector<synth::UserProfile>& profiles,
-    const ExperimentConfig& config) {
-  struct Variant {
-    const char* name;
-    bool prediction, duty, special;
-  };
-  const Variant variants[] = {
+namespace {
+
+/// One knock-out variant of the ablation study.
+struct AblationVariant {
+  const char* name;
+  bool prediction, duty, special;
+};
+
+}  // namespace
+
+std::vector<AblationRow> ablation_study(const EvalSession& session,
+                                        unsigned max_threads) {
+  const std::vector<AblationVariant> variants = {
       {"full", true, true, true},
       {"no-prediction", false, true, true},
       {"no-duty-cycle", true, false, true},
       {"no-special-apps", true, true, false},
   };
+  const policy::NetMasterConfig& base_nm = session.config().netmaster;
+  return sweep(
+      session, variants,
+      [&base_nm](const AblationVariant& variant) {
+        policy::NetMasterConfig nm = base_nm;
+        nm.enable_prediction = variant.prediction;
+        nm.enable_duty = variant.duty;
+        nm.enable_special_apps = variant.special;
+        std::vector<PolicySpec> specs;
+        specs.push_back(
+            {variant.name,
+             [nm](const UserTrace& training) {
+               return std::make_unique<policy::NetMasterPolicy>(training,
+                                                                nm);
+             },
+             {}});
+        return specs;
+      },
+      [&session](const AblationVariant& variant,
+                 const FleetReport& report) {
+        AblationRow row;
+        row.variant = variant.name;
+        std::size_t n = 0;
+        for (std::size_t u = 0; u < session.num_users(); ++u) {
+          const FleetCell& cell = report.at(u, 0);
+          if (cell.failed) continue;
+          ++n;
+          row.energy_saving += cell.energy_saving;
+          row.affected_fraction += cell.report.affected_fraction;
+          row.mean_deferral_latency_s +=
+              cell.report.mean_deferral_latency_s;
+          row.wake_count += static_cast<double>(cell.report.wake_count);
+        }
+        if (n > 0) {
+          const auto count = static_cast<double>(n);
+          row.energy_saving /= count;
+          row.affected_fraction /= count;
+          row.mean_deferral_latency_s /= count;
+          row.wake_count /= count;
+        }
+        return row;
+      },
+      max_threads);
+}
 
-  const SharedProfiles shared = prepare_shared(profiles, config);
-  const RadioPowerParams& radio = config.netmaster.profit.radio;
-
-  std::vector<AblationRow> rows(std::size(variants));
-  parallel_for(std::size(variants), [&](std::size_t v) {
-    const Variant& variant = variants[v];
-    AblationRow row;
-    row.variant = variant.name;
-    for (std::size_t u = 0; u < profiles.size(); ++u) {
-      const VolunteerTraces& traces = shared.traces[u];
-      policy::NetMasterConfig nm = config.netmaster;
-      nm.enable_prediction = variant.prediction;
-      nm.enable_duty = variant.duty;
-      nm.enable_special_apps = variant.special;
-      const policy::NetMasterPolicy p(traces.training, nm);
-      const sim::SimReport& base = shared.baseline[u];
-      const sim::SimReport rep = sim::account(
-          traces.eval, p.run(*shared.index[u]), radio);
-      if (base.energy_j > 0.0) {
-        row.energy_saving += 1.0 - rep.energy_j / base.energy_j;
-      }
-      row.affected_fraction += rep.affected_fraction;
-      row.mean_deferral_latency_s += rep.mean_deferral_latency_s;
-      row.wake_count += static_cast<double>(rep.wake_count);
-    }
-    const auto n = static_cast<double>(profiles.size());
-    row.energy_saving /= n;
-    row.affected_fraction /= n;
-    row.mean_deferral_latency_s /= n;
-    row.wake_count /= n;
-    rows[v] = row;
-  });
-  return rows;
+std::vector<AblationRow> ablation_study(
+    const std::vector<synth::UserProfile>& profiles,
+    const ExperimentConfig& config, unsigned max_threads) {
+  const EvalSession session(profiles, config, max_threads);
+  return ablation_study(session, max_threads);
 }
 
 }  // namespace netmaster::eval

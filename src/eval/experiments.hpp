@@ -1,39 +1,25 @@
 // Experiment runners for the §VI evaluation — one function per figure
 // family, shared by the bench binaries, the examples, and the
 // integration tests. All runners are deterministic in their seeds and
-// parallelize across volunteers / sweep points.
+// thread counts, and every one of them is a reduction over fleet runs:
+// the per-user traces/indexes/baselines live in an eval::EvalSession
+// (see session.hpp) and the replay grid goes through eval::run_fleet
+// via the generic sweep driver (see sweep.hpp). Each runner has two
+// overloads: a convenience form that builds a throwaway session from
+// profiles, and a session form that reuses a cached session so
+// consecutive figures or sweep invocations pay trace synthesis and
+// indexing exactly once.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
-#include "policy/netmaster.hpp"
+#include "eval/session.hpp"
 #include "sim/accounting.hpp"
 #include "synth/profiles.hpp"
 
 namespace netmaster::eval {
-
-/// Common experiment setup: train on the first `train_days`, evaluate
-/// on the following `eval_days`. Both default to whole weeks so the
-/// weekday/weekend regimes stay aligned between training and
-/// evaluation.
-struct ExperimentConfig {
-  int train_days = 14;
-  int eval_days = 7;
-  std::uint64_t seed = 42;
-  policy::NetMasterConfig netmaster;
-};
-
-/// Train/eval split of one synthetic volunteer.
-struct VolunteerTraces {
-  UserTrace training;
-  UserTrace eval;
-};
-
-/// Generates and splits the traces for one profile.
-VolunteerTraces make_traces(const synth::UserProfile& profile,
-                            const ExperimentConfig& config);
 
 /// One policy's results on one volunteer, with baseline-relative
 /// derived metrics.
@@ -48,8 +34,9 @@ struct ComparisonRow {
   double peak_up_ratio = 0.0;
 };
 
-/// Fig. 7 experiment for one volunteer: baseline, oracle, NetMaster,
-/// delay&batch at 10/20/60 s.
+/// Fig. 7 experiment for one volunteer: the standard_policy_suite
+/// roster (baseline, oracle, NetMaster, delay&batch at 10/20/60 s).
+/// A volunteer whose preparation failed has empty `rows`.
 struct VolunteerComparison {
   UserId user = 0;
   std::string profile_name;
@@ -57,15 +44,20 @@ struct VolunteerComparison {
   std::vector<ComparisonRow> rows;
 };
 
+/// Throws netmaster::Error when the volunteer's traces cannot be
+/// prepared (the single-user form has no fleet to isolate into).
 VolunteerComparison compare_policies(const synth::UserProfile& profile,
                                      const ExperimentConfig& config);
 
-/// Runs compare_policies for every profile, in parallel.
+/// Runs the comparison suite for every profile through one fleet grid.
 std::vector<VolunteerComparison> compare_all(
     const std::vector<synth::UserProfile>& profiles,
-    const ExperimentConfig& config);
+    const ExperimentConfig& config, unsigned max_threads = 0);
+std::vector<VolunteerComparison> compare_all(const EvalSession& session,
+                                             unsigned max_threads = 0);
 
-/// One point of the Fig. 8 / Fig. 9 sweeps, averaged over profiles.
+/// One point of the Fig. 8 / Fig. 9 sweeps, averaged over the users
+/// whose cells completed (all of them on a healthy fleet).
 struct SweepPoint {
   double x = 0.0;                   ///< delay seconds / batch size
   double energy_saving = 0.0;       ///< 1 − E/E_baseline
@@ -77,12 +69,20 @@ struct SweepPoint {
 /// Fig. 8: fixed-interval delay sweep.
 std::vector<SweepPoint> delay_sweep(
     const std::vector<synth::UserProfile>& profiles,
-    const std::vector<double>& delays_s, const ExperimentConfig& config);
+    const std::vector<double>& delays_s, const ExperimentConfig& config,
+    unsigned max_threads = 0);
+std::vector<SweepPoint> delay_sweep(const EvalSession& session,
+                                    const std::vector<double>& delays_s,
+                                    unsigned max_threads = 0);
 
 /// Fig. 9: batch-size sweep.
 std::vector<SweepPoint> batch_sweep(
     const std::vector<synth::UserProfile>& profiles,
-    const std::vector<std::size_t>& sizes, const ExperimentConfig& config);
+    const std::vector<std::size_t>& sizes, const ExperimentConfig& config,
+    unsigned max_threads = 0);
+std::vector<SweepPoint> batch_sweep(const EvalSession& session,
+                                    const std::vector<std::size_t>& sizes,
+                                    unsigned max_threads = 0);
 
 /// One point of the Fig. 10c prediction-threshold sweep.
 struct ThresholdPoint {
@@ -95,7 +95,11 @@ struct ThresholdPoint {
 /// x axis matches the paper's single-threshold plot).
 std::vector<ThresholdPoint> threshold_sweep(
     const std::vector<synth::UserProfile>& profiles,
-    const std::vector<double>& deltas, const ExperimentConfig& config);
+    const std::vector<double>& deltas, const ExperimentConfig& config,
+    unsigned max_threads = 0);
+std::vector<ThresholdPoint> threshold_sweep(
+    const EvalSession& session, const std::vector<double>& deltas,
+    unsigned max_threads = 0);
 
 /// Component ablation (DESIGN.md's knock-out study): the full system
 /// and each component disabled in turn, averaged over profiles.
@@ -109,6 +113,8 @@ struct AblationRow {
 
 std::vector<AblationRow> ablation_study(
     const std::vector<synth::UserProfile>& profiles,
-    const ExperimentConfig& config);
+    const ExperimentConfig& config, unsigned max_threads = 0);
+std::vector<AblationRow> ablation_study(const EvalSession& session,
+                                        unsigned max_threads = 0);
 
 }  // namespace netmaster::eval

@@ -16,129 +16,54 @@ namespace netmaster::eval {
 std::vector<PolicySpec> standard_policy_suite(
     const policy::NetMasterConfig& config) {
   std::vector<PolicySpec> suite;
-  suite.push_back({"baseline", [](const UserTrace&) {
+  suite.push_back({"baseline",
+                   [](const UserTrace&) {
                      return std::make_unique<policy::BaselinePolicy>();
-                   }});
-  suite.push_back({"oracle", [profit = config.profit](const UserTrace&) {
+                   },
+                   {}});
+  suite.push_back({"oracle",
+                   [profit = config.profit](const UserTrace&) {
                      return std::make_unique<policy::OraclePolicy>(profit);
-                   }});
-  suite.push_back({"netmaster", [config](const UserTrace& training) {
+                   },
+                   {}});
+  suite.push_back({"netmaster",
+                   [config](const UserTrace& training) {
                      return std::make_unique<policy::NetMasterPolicy>(
                          training, config);
-                   }});
+                   },
+                   {}});
   for (const double d : {10.0, 20.0, 60.0}) {
     suite.push_back({"delay&batch-" + std::to_string(static_cast<int>(d)) +
                          "s",
                      [d](const UserTrace&) {
                        return std::make_unique<policy::DelayBatchPolicy>(
                            seconds(d));
-                     }});
+                     },
+                     {}});
   }
   return suite;
 }
 
 namespace {
 
-/// Display identity of one fleet row.
-struct UserLabel {
-  UserId id = 0;
-  std::string profile_name;
-};
+/// Rebuilds the failure ledger and per-policy aggregates of `report`
+/// from its cells, in deterministic (user, policy) order. `count_rows`
+/// feeds the fleet.rows_failed counter — set only on fresh grids, not
+/// when re-deriving a slice, so sweeps don't double-count.
+void finalize_report(const EvalSession& session, FleetReport& report,
+                     bool count_rows) {
+  const std::size_t n = report.num_users;
+  const std::size_t m = report.num_policies;
 
-/// Shared grid engine. `prep_error[u]` non-empty marks user u as failed
-/// before any policy ran (trace generation or baseline accounting
-/// threw); the whole row is skipped and reported as one failure.
-FleetReport run_fleet_impl(const std::vector<VolunteerTraces>& traces,
-                           const std::vector<UserLabel>& labels,
-                           std::vector<std::string> prep_error,
-                           const std::vector<PolicySpec>& policies,
-                           const ExperimentConfig& config,
-                           unsigned max_threads) {
-  NM_REQUIRE(!policies.empty(), "fleet needs at least one policy");
-  const std::size_t n = traces.size();
-  const std::size_t m = policies.size();
-  const RadioPowerParams& radio = config.netmaster.profit.radio;
-
-  // ---- Per-user shared state: index and baseline reference. Each
-  // user's evaluation trace is indexed once; every policy cell below
-  // replays against that index. A trace the baseline cannot replay
-  // (validation or accounting failure) poisons only its own row. ----
-  std::vector<std::unique_ptr<engine::TraceIndex>> index(n);
-  std::vector<sim::SimReport> baseline(n);
-  parallel_for(n, [&](std::size_t u) {
-    if (!prep_error[u].empty()) return;
-    const obs::SpanScope span("fleet.prepare");
-    try {
-      traces[u].eval.validate();
-      index[u] = std::make_unique<engine::TraceIndex>(traces[u].eval);
-      const policy::BaselinePolicy base;
-      const obs::SpanScope account_span("fleet.account");
-      baseline[u] =
-          sim::account(traces[u].eval, base.run(*index[u]), radio);
-    } catch (const std::exception& e) {
-      prep_error[u] = e.what();
-    }
-  }, max_threads);
-
-  // ---- The N×M cell grid. A throwing cell fails alone. ----
-  FleetReport report;
-  report.num_users = n;
-  report.num_policies = m;
-  report.cells.resize(n * m);
-  auto run_cell = [&](std::size_t c) {
-    const std::size_t u = c / m;
-    const std::size_t p = c % m;
-    FleetCell& cell = report.cells[c];
-    cell.user = labels[u].id;
-    cell.profile_name = labels[u].profile_name;
-    cell.policy = policies[p].name;
-    if (!prep_error[u].empty()) {
-      cell.failed = true;
-      cell.error = prep_error[u];
-      return;
-    }
-    const obs::SpanScope cell_span("fleet.cell");
-    try {
-      std::unique_ptr<policy::Policy> pol;
-      {
-        const obs::SpanScope mine_span("fleet.mine");
-        pol = policies[p].make(traces[u].training);
-      }
-      sim::PolicyOutcome outcome;
-      {
-        const obs::SpanScope schedule_span("fleet.schedule");
-        outcome = pol->run(*index[u]);
-      }
-      const obs::SpanScope account_span("fleet.account");
-      cell.report = sim::account(traces[u].eval, outcome, radio);
-    } catch (const std::exception& e) {
-      cell.failed = true;
-      cell.error = e.what();
-      obs::Registry::global().counter("fleet.cells_failed").add(1);
-      return;
-    }
-    cell.degraded = cell.report.degraded;
-    if (cell.degraded) {
-      obs::Registry::global().counter("fleet.cells_degraded").add(1);
-    }
-    if (baseline[u].energy_j > 0.0) {
-      cell.energy_saving = 1.0 - cell.report.energy_j / baseline[u].energy_j;
-    }
-    if (baseline[u].radio_on_ms > 0) {
-      cell.radio_on_fraction =
-          static_cast<double>(cell.report.radio_on_ms) /
-          static_cast<double>(baseline[u].radio_on_ms);
-    }
-  };
-  parallel_for(n * m, run_cell, max_threads);
-
-  // ---- Failure ledger, in deterministic (user, policy) order: one
-  // entry per poisoned row, one per individually failed cell. ----
+  report.failures.clear();
   for (std::size_t u = 0; u < n; ++u) {
-    if (!prep_error[u].empty()) {
-      report.failures.push_back(
-          {labels[u].id, labels[u].profile_name, "", prep_error[u]});
-      obs::Registry::global().counter("fleet.rows_failed").add(1);
+    if (!session.ok(u)) {
+      report.failures.push_back({session.user_id(u),
+                                 session.profile_name(u), "",
+                                 session.prep_error(u)});
+      if (count_rows) {
+        obs::Registry::global().counter("fleet.rows_failed").add(1);
+      }
       continue;
     }
     for (std::size_t p = 0; p < m; ++p) {
@@ -150,12 +75,12 @@ FleetReport run_fleet_impl(const std::vector<VolunteerTraces>& traces,
     }
   }
 
-  // ---- Per-policy aggregates, folded in fixed user order. Failed
-  // cells are counted, not averaged. ----
-  report.aggregates.resize(m);
+  // Per-policy aggregates, folded in fixed user order. Failed cells
+  // are counted, not averaged.
+  report.aggregates.assign(m, FleetAggregate{});
   for (std::size_t p = 0; p < m; ++p) {
     FleetAggregate& agg = report.aggregates[p];
-    agg.policy = policies[p].name;
+    if (n > 0) agg.policy = report.cell(0, p).policy;
     for (std::size_t u = 0; u < n; ++u) {
       const FleetCell& cell = report.cell(u, p);
       if (cell.failed) {
@@ -170,10 +95,92 @@ FleetReport run_fleet_impl(const std::vector<VolunteerTraces>& traces,
       agg.total_energy_j += cell.report.energy_j;
     }
   }
+}
+
+/// The N×M cell grid over a prepared session. A throwing cell fails
+/// alone; a user whose session preparation failed poisons only its own
+/// row.
+FleetReport run_grid(const EvalSession& session,
+                     const std::vector<PolicySpec>& policies,
+                     unsigned max_threads) {
+  NM_REQUIRE(!policies.empty(), "fleet needs at least one policy");
+  const std::size_t n = session.num_users();
+  const std::size_t m = policies.size();
+  const RadioPowerParams& radio = session.config().netmaster.profit.radio;
+
+  FleetReport report;
+  report.num_users = n;
+  report.num_policies = m;
+  report.cells.resize(n * m);
+  auto run_cell = [&](std::size_t c) {
+    const std::size_t u = c / m;
+    const std::size_t p = c % m;
+    FleetCell& cell = report.cells[c];
+    cell.user = session.user_id(u);
+    cell.profile_name = session.profile_name(u);
+    cell.policy = policies[p].name;
+    if (!session.ok(u)) {
+      cell.failed = true;
+      cell.error = session.prep_error(u);
+      return;
+    }
+    const obs::SpanScope cell_span("fleet.cell");
+    try {
+      std::unique_ptr<policy::Policy> pol;
+      {
+        const obs::SpanScope mine_span("fleet.mine");
+        pol = policies[p].make(session.traces(u).training);
+      }
+      if (policies[p].probe) {
+        cell.probe_value = policies[p].probe(*pol, session.traces(u));
+      }
+      sim::PolicyOutcome outcome;
+      {
+        const obs::SpanScope schedule_span("fleet.schedule");
+        outcome = pol->run(session.index(u));
+      }
+      const obs::SpanScope account_span("fleet.account");
+      cell.report = sim::account(session.traces(u).eval, outcome, radio);
+    } catch (const std::exception& e) {
+      cell.failed = true;
+      cell.error = e.what();
+      obs::Registry::global().counter("fleet.cells_failed").add(1);
+      return;
+    }
+    cell.degraded = cell.report.degraded;
+    if (cell.degraded) {
+      obs::Registry::global().counter("fleet.cells_degraded").add(1);
+    }
+    const sim::SimReport& baseline = session.baseline(u);
+    if (baseline.energy_j > 0.0) {
+      cell.energy_saving = 1.0 - cell.report.energy_j / baseline.energy_j;
+    }
+    if (baseline.radio_on_ms > 0) {
+      cell.radio_on_fraction =
+          static_cast<double>(cell.report.radio_on_ms) /
+          static_cast<double>(baseline.radio_on_ms);
+    }
+  };
+  parallel_for(n * m, run_cell, max_threads);
+  finalize_report(session, report, /*count_rows=*/true);
   return report;
 }
 
 }  // namespace
+
+FleetReport run_fleet(const EvalSession& session,
+                      const std::vector<PolicySpec>& policies,
+                      unsigned max_threads) {
+  FleetReport report;
+  {
+    const obs::SpanScope span("eval.run_fleet");
+    report = run_grid(session, policies, max_threads);
+  }
+  // Snapshot hook: a fleet run is the natural export boundary, so a
+  // driver only has to set NETMASTER_METRICS_OUT to get telemetry.
+  obs::maybe_export_env();
+  return report;
+}
 
 FleetReport run_fleet(const std::vector<synth::UserProfile>& profiles,
                       const std::vector<PolicySpec>& policies,
@@ -182,24 +189,9 @@ FleetReport run_fleet(const std::vector<synth::UserProfile>& profiles,
   FleetReport report;
   {
     const obs::SpanScope span("eval.run_fleet");
-    const std::size_t n = profiles.size();
-    std::vector<VolunteerTraces> traces(n);
-    std::vector<UserLabel> labels(n);
-    std::vector<std::string> prep_error(n);
-    parallel_for(n, [&](std::size_t u) {
-      const obs::SpanScope gen_span("fleet.trace_gen");
-      labels[u] = {profiles[u].id, profiles[u].name};
-      try {
-        traces[u] = make_traces(profiles[u], config);
-      } catch (const std::exception& e) {
-        prep_error[u] = e.what();
-      }
-    }, max_threads);
-    report = run_fleet_impl(traces, labels, std::move(prep_error),
-                            policies, config, max_threads);
+    const EvalSession session(profiles, config, max_threads);
+    report = run_grid(session, policies, max_threads);
   }
-  // Snapshot hook: a fleet run is the natural export boundary, so a
-  // driver only has to set NETMASTER_METRICS_OUT to get telemetry.
   obs::maybe_export_env();
   return report;
 }
@@ -211,17 +203,31 @@ FleetReport run_fleet(const std::vector<VolunteerTraces>& volunteers,
   FleetReport report;
   {
     const obs::SpanScope span("eval.run_fleet");
-    const std::size_t n = volunteers.size();
-    std::vector<UserLabel> labels(n);
-    for (std::size_t u = 0; u < n; ++u) {
-      labels[u] = {volunteers[u].eval.user, "volunteer"};
-    }
-    report = run_fleet_impl(volunteers, labels,
-                            std::vector<std::string>(n), policies, config,
-                            max_threads);
+    const EvalSession session(volunteers, config, max_threads);
+    report = run_grid(session, policies, max_threads);
   }
   obs::maybe_export_env();
   return report;
+}
+
+FleetReport slice_policies(const EvalSession& session,
+                           const FleetReport& report, std::size_t first,
+                           std::size_t count) {
+  NM_REQUIRE(session.num_users() == report.num_users,
+             "slice_policies session does not match the report");
+  NM_REQUIRE(count > 0 && first + count <= report.num_policies,
+             "slice_policies column range out of bounds");
+  FleetReport slice;
+  slice.num_users = report.num_users;
+  slice.num_policies = count;
+  slice.cells.reserve(report.num_users * count);
+  for (std::size_t u = 0; u < report.num_users; ++u) {
+    for (std::size_t p = 0; p < count; ++p) {
+      slice.cells.push_back(report.cell(u, first + p));
+    }
+  }
+  finalize_report(session, slice, /*count_rows=*/false);
+  return slice;
 }
 
 }  // namespace netmaster::eval

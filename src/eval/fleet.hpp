@@ -1,12 +1,12 @@
 // Fleet-scale batch evaluation: N users × M policies in one run.
 //
-// The per-figure runners in experiments.hpp each re-derive traces and
-// session state for every policy they touch. FleetRunner is the shared
-// engine underneath a scale-out sweep: every user's evaluation trace is
-// generated and indexed exactly once (engine::TraceIndex), then all M
-// policies replay against that shared index, parallelized over the full
-// N×M cell grid. Results come back both per cell and aggregated per
-// policy across the fleet.
+// run_fleet is the one replay engine under every §VI figure runner:
+// the per-user state (traces, engine::TraceIndex, baseline report)
+// lives in an eval::EvalSession built exactly once, then all M
+// policies replay against the shared indexes, parallelized over the
+// full N×M cell grid. Results come back both per cell and aggregated
+// per policy across the fleet, with per-user failures isolated into a
+// ledger instead of aborting the run.
 #pragma once
 
 #include <cstddef>
@@ -15,9 +15,9 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/stats.hpp"
-#include "engine/trace_index.hpp"
-#include "eval/experiments.hpp"
+#include "eval/session.hpp"
 #include "policy/policy.hpp"
 #include "sim/accounting.hpp"
 #include "synth/profiles.hpp"
@@ -27,14 +27,23 @@ namespace netmaster::eval {
 /// A named policy factory. NetMaster trains per user, so the factory
 /// receives the user's training trace; stateless policies ignore it.
 /// Invoked once per (user, policy) cell.
+///
+/// `probe`, when set, is evaluated on the constructed policy before the
+/// replay and lands in FleetCell::probe_value — the hook for
+/// policy-level metrics that are not part of the SimReport (e.g. the
+/// Fig. 10c prediction accuracy).
 struct PolicySpec {
   std::string name;
   std::function<std::unique_ptr<policy::Policy>(const UserTrace& training)>
       make;
+  std::function<double(const policy::Policy& policy,
+                       const VolunteerTraces& traces)>
+      probe;
 };
 
 /// The §VI comparison suite: baseline, oracle, NetMaster, and
-/// delay&batch at 10/20/60 s.
+/// delay&batch at 10/20/60 s. The single source of truth for the
+/// policy roster — every figure runner consumes these specs.
 std::vector<PolicySpec> standard_policy_suite(
     const policy::NetMasterConfig& config);
 
@@ -46,6 +55,7 @@ struct FleetCell {
   sim::SimReport report;
   double energy_saving = 0.0;      ///< 1 − E/E_baseline for this user
   double radio_on_fraction = 0.0;  ///< radio-on / baseline radio-on
+  double probe_value = 0.0;        ///< PolicySpec::probe result, if set
   bool failed = false;             ///< this cell threw; report is empty
   bool degraded = false;           ///< policy took its fallback path
   std::string error;               ///< what() of the failure, if any
@@ -86,18 +96,40 @@ struct FleetReport {
   /// N−1 users — it lands here instead.
   std::vector<FleetFailure> failures;
 
+  /// Raw indexer for hot loops: no bounds checking.
   const FleetCell& cell(std::size_t user, std::size_t policy) const {
     return cells[user * num_policies + policy];
   }
+
+  /// Bounds-checked cell access — throws netmaster::Error on an
+  /// out-of-range index or a mismatched/truncated grid. The reducers
+  /// use this; `cell()` stays for hot loops.
+  const FleetCell& at(std::size_t user, std::size_t policy) const {
+    NM_REQUIRE(user < num_users && policy < num_policies,
+               "FleetReport::at (user, policy) index out of range");
+    const std::size_t c = user * num_policies + policy;
+    NM_REQUIRE(c < cells.size(),
+               "FleetReport::at grid is inconsistent with its cells");
+    return cells[c];
+  }
 };
 
-/// Evaluates every policy on every profile. Traces are generated and
-/// indexed once per user and shared across all policies; the N×M cell
-/// grid runs under parallel_for, so results are deterministic in
-/// (profiles, policies, config) regardless of thread count
-/// (`max_threads` = 0 means hardware concurrency). Per-user errors are
+/// Evaluates every policy on every prepared user of the session. The
+/// session's traces/indexes/baselines are shared read-only state; only
+/// the N×M cell grid runs here, under one parallel_for, so results are
+/// deterministic in (session, policies) regardless of thread count
+/// (`max_threads` = 0 means hardware concurrency, overridable via the
+/// NETMASTER_THREADS environment variable). Per-user errors are
 /// isolated into FleetReport::failures; the run itself never throws on
 /// bad user data.
+FleetReport run_fleet(const EvalSession& session,
+                      const std::vector<PolicySpec>& policies,
+                      unsigned max_threads = 0);
+
+/// Convenience: builds a throwaway EvalSession over the profiles and
+/// runs the grid. Prefer the session overload when running more than
+/// one grid (sweeps, repeated figures) — the session amortizes trace
+/// generation and indexing across runs.
 FleetReport run_fleet(const std::vector<synth::UserProfile>& profiles,
                       const std::vector<PolicySpec>& policies,
                       const ExperimentConfig& config,
@@ -111,5 +143,15 @@ FleetReport run_fleet(const std::vector<VolunteerTraces>& volunteers,
                       const std::vector<PolicySpec>& policies,
                       const ExperimentConfig& config,
                       unsigned max_threads = 0);
+
+/// Extracts the policy columns [first, first + count) of `report` into
+/// a standalone FleetReport with its own failure ledger and per-policy
+/// aggregates. The session must be the one `report` was produced from
+/// (it distinguishes whole-row preparation failures from individual
+/// cell failures). This is how the sweep driver splits one
+/// (point × user × policy) grid back into per-point reports.
+FleetReport slice_policies(const EvalSession& session,
+                           const FleetReport& report, std::size_t first,
+                           std::size_t count);
 
 }  // namespace netmaster::eval

@@ -1,0 +1,102 @@
+#include "eval/session.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "obs/span.hpp"
+#include "policy/baseline.hpp"
+#include "synth/generator.hpp"
+
+namespace netmaster::eval {
+
+VolunteerTraces make_traces(const synth::UserProfile& profile,
+                            const ExperimentConfig& config) {
+  NM_REQUIRE(config.train_days > 0 && config.eval_days > 0,
+             "train/eval day counts must be positive");
+  NM_REQUIRE(config.train_days % 7 == 0,
+             "train_days must be whole weeks to keep the weekday/weekend "
+             "regimes aligned between training and evaluation");
+  const int total = config.train_days + config.eval_days;
+  const UserTrace full =
+      synth::generate_trace(profile, total, config.seed);
+  return {full.slice_days(0, config.train_days),
+          full.slice_days(config.train_days, config.eval_days)};
+}
+
+EvalSession::EvalSession(const std::vector<synth::UserProfile>& profiles,
+                         const ExperimentConfig& config,
+                         unsigned max_threads)
+    : config_(config), users_(profiles.size()) {
+  parallel_for(profiles.size(), [&](std::size_t u) {
+    const obs::SpanScope gen_span("fleet.trace_gen");
+    users_[u].id = profiles[u].id;
+    users_[u].profile_name = profiles[u].name;
+    try {
+      users_[u].traces = make_traces(profiles[u], config_);
+    } catch (const std::exception& e) {
+      users_[u].prep_error = e.what();
+    }
+  }, max_threads);
+  prepare(max_threads);
+}
+
+EvalSession::EvalSession(std::vector<VolunteerTraces> volunteers,
+                         const ExperimentConfig& config,
+                         unsigned max_threads)
+    : config_(config), users_(volunteers.size()) {
+  for (std::size_t u = 0; u < users_.size(); ++u) {
+    users_[u].id = volunteers[u].eval.user;
+    users_[u].profile_name = "volunteer";
+    users_[u].traces = std::move(volunteers[u]);
+  }
+  prepare(max_threads);
+}
+
+void EvalSession::prepare(unsigned max_threads) {
+  const RadioPowerParams& radio = config_.netmaster.profit.radio;
+  parallel_for(users_.size(), [&](std::size_t u) {
+    UserState& state = users_[u];
+    if (!state.prep_error.empty()) return;
+    const obs::SpanScope span("fleet.prepare");
+    try {
+      state.traces.eval.validate();
+      state.index = std::make_unique<engine::TraceIndex>(state.traces.eval);
+      const policy::BaselinePolicy base;
+      const obs::SpanScope account_span("fleet.account");
+      state.baseline =
+          sim::account(state.traces.eval, base.run(*state.index), radio);
+    } catch (const std::exception& e) {
+      state.prep_error = e.what();
+    }
+  }, max_threads);
+}
+
+std::size_t EvalSession::num_ok() const {
+  std::size_t n = 0;
+  for (const UserState& state : users_) {
+    if (state.prep_error.empty()) ++n;
+  }
+  return n;
+}
+
+const engine::TraceIndex& EvalSession::index(std::size_t u) const {
+  const UserState& state = user(u);
+  NM_REQUIRE(state.index != nullptr,
+             "EvalSession::index on a failed user — check ok(u) first");
+  return *state.index;
+}
+
+const sim::SimReport& EvalSession::baseline(std::size_t u) const {
+  const UserState& state = user(u);
+  NM_REQUIRE(state.prep_error.empty(),
+             "EvalSession::baseline on a failed user — check ok(u) first");
+  return state.baseline;
+}
+
+const EvalSession::UserState& EvalSession::user(std::size_t u) const {
+  NM_REQUIRE(u < users_.size(), "EvalSession user index out of range");
+  return users_[u];
+}
+
+}  // namespace netmaster::eval

@@ -1,0 +1,110 @@
+// EvalSession — the cached per-user state every §VI experiment replays
+// against: the train/eval trace split, the engine::TraceIndex over the
+// evaluation trace, and the baseline reference SimReport. Built once
+// (in parallel), immutable afterwards, and shared by reference across
+// every sweep point and policy cell, so a 12-point sweep pays trace
+// synthesis and indexing exactly once instead of 12 times.
+//
+// Per-user preparation failures (a poisoned trace, a baseline that
+// cannot replay) are captured in the session instead of thrown: the
+// user is marked not-ok and every fleet run over the session reports
+// that row as an isolated FleetFailure.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/trace_index.hpp"
+#include "policy/netmaster.hpp"
+#include "sim/accounting.hpp"
+#include "synth/profiles.hpp"
+#include "trace/trace.hpp"
+
+namespace netmaster::eval {
+
+/// Common experiment setup: train on the first `train_days`, evaluate
+/// on the following `eval_days`. Both default to whole weeks so the
+/// weekday/weekend regimes stay aligned between training and
+/// evaluation.
+struct ExperimentConfig {
+  int train_days = 14;
+  int eval_days = 7;
+  std::uint64_t seed = 42;
+  policy::NetMasterConfig netmaster;
+};
+
+/// Train/eval split of one synthetic volunteer.
+struct VolunteerTraces {
+  UserTrace training;
+  UserTrace eval;
+};
+
+/// Generates and splits the traces for one profile.
+VolunteerTraces make_traces(const synth::UserProfile& profile,
+                            const ExperimentConfig& config);
+
+/// Immutable per-user evaluation state shared across sweep points and
+/// policy cells. Movable, non-copyable (it owns one TraceIndex per
+/// user).
+class EvalSession {
+ public:
+  /// Synthesizes, splits, indexes and baseline-accounts every profile
+  /// in parallel. A profile whose preparation throws is marked failed
+  /// (`ok(u)` false) — construction itself never throws on bad user
+  /// data.
+  EvalSession(const std::vector<synth::UserProfile>& profiles,
+              const ExperimentConfig& config, unsigned max_threads = 0);
+
+  /// Same, over pre-built (possibly recorded/corrupted) trace pairs.
+  EvalSession(std::vector<VolunteerTraces> volunteers,
+              const ExperimentConfig& config, unsigned max_threads = 0);
+
+  EvalSession(EvalSession&&) = default;
+  EvalSession& operator=(EvalSession&&) = default;
+  EvalSession(const EvalSession&) = delete;
+  EvalSession& operator=(const EvalSession&) = delete;
+
+  std::size_t num_users() const { return users_.size(); }
+  const ExperimentConfig& config() const { return config_; }
+
+  /// False when user u's preparation failed; `prep_error(u)` says why.
+  bool ok(std::size_t u) const { return user(u).prep_error.empty(); }
+  const std::string& prep_error(std::size_t u) const {
+    return user(u).prep_error;
+  }
+  /// Number of users with usable state.
+  std::size_t num_ok() const;
+
+  UserId user_id(std::size_t u) const { return user(u).id; }
+  const std::string& profile_name(std::size_t u) const {
+    return user(u).profile_name;
+  }
+  const VolunteerTraces& traces(std::size_t u) const {
+    return user(u).traces;
+  }
+  /// The shared evaluation-trace index / baseline reference report.
+  /// Contract: only valid when `ok(u)`.
+  const engine::TraceIndex& index(std::size_t u) const;
+  const sim::SimReport& baseline(std::size_t u) const;
+
+ private:
+  struct UserState {
+    UserId id = 0;
+    std::string profile_name;
+    VolunteerTraces traces;
+    std::unique_ptr<engine::TraceIndex> index;
+    sim::SimReport baseline;
+    std::string prep_error;  ///< empty = usable
+  };
+
+  const UserState& user(std::size_t u) const;
+  /// Validates, indexes and baseline-accounts every non-failed user.
+  void prepare(unsigned max_threads);
+
+  ExperimentConfig config_;
+  std::vector<UserState> users_;
+};
+
+}  // namespace netmaster::eval

@@ -1,0 +1,67 @@
+// Generic sweep driver over a cached EvalSession.
+//
+// A sweep is (points × users × policies): every point contributes a
+// roster of PolicySpecs, the whole grid runs as ONE fleet (a single
+// parallel_for over every cell, sharing the session's per-user
+// TraceIndexes), and the combined report is sliced back into one
+// FleetReport per point for the caller's reduction. Trace synthesis and
+// indexing are paid once per session, not once per point, and the
+// fleet's failure isolation, degradation counters and span attribution
+// reach every figure for free.
+//
+//   EvalSession session(profiles, config);
+//   auto points = sweep(
+//       session, delays,
+//       [](double d) { return std::vector<PolicySpec>{delay_spec(d)}; },
+//       [&](double d, const FleetReport& r) { return reduce(d, r); });
+//
+// Reductions run sequentially in point order, so results are
+// deterministic in (session, points) regardless of thread count.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "eval/fleet.hpp"
+#include "eval/session.hpp"
+
+namespace netmaster::eval {
+
+/// Runs `make_policies(point)` for every point, evaluates the combined
+/// (point × user × policy) grid through run_fleet, and maps
+/// `reduce(point, per_point_report)` over the slices. Returns the
+/// reduction results in point order.
+template <typename Point, typename MakePolicies, typename Reduce>
+auto sweep(const EvalSession& session, const std::vector<Point>& points,
+           MakePolicies&& make_policies, Reduce&& reduce,
+           unsigned max_threads = 0) {
+  using Result = std::decay_t<decltype(reduce(
+      points.front(), std::declval<const FleetReport&>()))>;
+  std::vector<Result> results;
+  if (points.empty()) return results;
+
+  std::vector<PolicySpec> all;
+  std::vector<std::size_t> offsets;
+  offsets.reserve(points.size() + 1);
+  for (const Point& point : points) {
+    offsets.push_back(all.size());
+    std::vector<PolicySpec> specs = make_policies(point);
+    NM_REQUIRE(!specs.empty(), "sweep point produced an empty roster");
+    for (PolicySpec& spec : specs) all.push_back(std::move(spec));
+  }
+  offsets.push_back(all.size());
+
+  const FleetReport grid = run_fleet(session, all, max_threads);
+
+  results.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const FleetReport slice = slice_policies(
+        session, grid, offsets[i], offsets[i + 1] - offsets[i]);
+    results.push_back(reduce(points[i], slice));
+  }
+  return results;
+}
+
+}  // namespace netmaster::eval

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "eval/experiments.hpp"
 #include "eval/fleet.hpp"
 #include "synth/presets.hpp"
 
@@ -114,6 +115,79 @@ TEST(Fleet, DeterministicAcrossThreadCounts) {
 TEST(Fleet, RejectsEmptyPolicySuite) {
   const ExperimentConfig cfg = small_config();
   EXPECT_THROW(run_fleet(small_fleet(), {}, cfg), Error);
+}
+
+TEST(Fleet, BoundsCheckedAtMatchesRawCell) {
+  const ExperimentConfig cfg = small_config();
+  const auto suite = standard_policy_suite(cfg.netmaster);
+  const FleetReport report = run_fleet(small_fleet(), suite, cfg);
+
+  for (std::size_t u = 0; u < report.num_users; ++u) {
+    for (std::size_t p = 0; p < report.num_policies; ++p) {
+      EXPECT_EQ(&report.at(u, p), &report.cell(u, p));
+    }
+  }
+  EXPECT_THROW(report.at(report.num_users, 0), Error);
+  EXPECT_THROW(report.at(0, report.num_policies), Error);
+
+  // A truncated grid is caught even when the indexes look in-range.
+  FleetReport truncated = report;
+  truncated.cells.resize(truncated.cells.size() - 1);
+  EXPECT_THROW(
+      truncated.at(truncated.num_users - 1, truncated.num_policies - 1),
+      Error);
+}
+
+TEST(Fleet, SessionIsReusableAcrossRuns) {
+  const ExperimentConfig cfg = small_config();
+  const auto suite = standard_policy_suite(cfg.netmaster);
+  const EvalSession session(small_fleet(), cfg);
+
+  ASSERT_EQ(session.num_users(), 3u);
+  EXPECT_EQ(session.num_ok(), 3u);
+  for (std::size_t u = 0; u < session.num_users(); ++u) {
+    EXPECT_TRUE(session.ok(u));
+    EXPECT_GT(session.baseline(u).energy_j, 0.0);
+    EXPECT_EQ(session.index(u).trace().user, session.user_id(u));
+  }
+
+  // Two runs over the same session agree with the throwaway-session
+  // entry point bit for bit — the cache changes cost, not results.
+  const FleetReport fresh = run_fleet(small_fleet(), suite, cfg);
+  const FleetReport first = run_fleet(session, suite);
+  const FleetReport second = run_fleet(session, suite);
+  ASSERT_EQ(first.cells.size(), fresh.cells.size());
+  for (std::size_t c = 0; c < fresh.cells.size(); ++c) {
+    EXPECT_EQ(first.cells[c].report.energy_j, fresh.cells[c].report.energy_j);
+    EXPECT_EQ(first.cells[c].report.energy_j,
+              second.cells[c].report.energy_j);
+    EXPECT_EQ(first.cells[c].energy_saving, second.cells[c].energy_saving);
+  }
+}
+
+TEST(Fleet, SlicePoliciesExtractsColumns) {
+  const ExperimentConfig cfg = small_config();
+  const auto suite = standard_policy_suite(cfg.netmaster);
+  const EvalSession session(small_fleet(), cfg);
+  const FleetReport report = run_fleet(session, suite);
+
+  const FleetReport slice = slice_policies(session, report, 1, 2);
+  ASSERT_EQ(slice.num_users, report.num_users);
+  ASSERT_EQ(slice.num_policies, 2u);
+  ASSERT_EQ(slice.aggregates.size(), 2u);
+  EXPECT_EQ(slice.aggregates[0].policy, suite[1].name);
+  EXPECT_EQ(slice.aggregates[1].policy, suite[2].name);
+  for (std::size_t u = 0; u < slice.num_users; ++u) {
+    for (std::size_t p = 0; p < 2u; ++p) {
+      EXPECT_EQ(slice.at(u, p).report.energy_j,
+                report.at(u, p + 1).report.energy_j);
+    }
+  }
+  // Aggregates of a slice fold exactly the sliced columns.
+  EXPECT_NEAR(slice.aggregates[0].energy_saving.mean(),
+              report.aggregates[1].energy_saving.mean(), 1e-12);
+  EXPECT_THROW(slice_policies(session, report, 0, 0), Error);
+  EXPECT_THROW(slice_policies(session, report, 5, 2), Error);
 }
 
 }  // namespace
