@@ -324,4 +324,41 @@ std::vector<AblationRow> ablation_study(
   return ablation_study(session, max_threads);
 }
 
+std::vector<SolverAblationRow> solver_ablation_study(
+    const EvalSession& session, unsigned max_threads) {
+  const std::vector<PolicySpec> roster =
+      solver_ablation_suite(session.config().netmaster);
+  const FleetReport report = run_fleet(session, roster, max_threads);
+  std::vector<SolverAblationRow> rows;
+  rows.reserve(roster.size());
+  for (std::size_t p = 0; p < roster.size(); ++p) {
+    SolverAblationRow row;
+    row.solver = roster[p].name;
+    std::size_t n = 0;
+    for (std::size_t u = 0; u < session.num_users(); ++u) {
+      const FleetCell& cell = report.at(u, p);
+      if (cell.failed) continue;
+      ++n;
+      row.energy_saving += cell.energy_saving;
+      row.affected_fraction += cell.report.affected_fraction;
+      row.mean_deferral_latency_s += cell.report.mean_deferral_latency_s;
+    }
+    if (n > 0) {
+      const auto count = static_cast<double>(n);
+      row.energy_saving /= count;
+      row.affected_fraction /= count;
+      row.mean_deferral_latency_s /= count;
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<SolverAblationRow> solver_ablation_study(
+    const std::vector<synth::UserProfile>& profiles,
+    const ExperimentConfig& config, unsigned max_threads) {
+  const EvalSession session(profiles, config, max_threads);
+  return solver_ablation_study(session, max_threads);
+}
+
 }  // namespace netmaster::eval

@@ -117,4 +117,22 @@ std::vector<AblationRow> ablation_study(
 std::vector<AblationRow> ablation_study(const EvalSession& session,
                                         unsigned max_threads = 0);
 
+/// Solver ablation: end-to-end NetMaster metrics per SinKnap backend
+/// (the eval::solver_ablation_suite roster replayed as one fleet grid),
+/// averaged over the users whose cells completed. Quantifies what the
+/// FPTAS buys over per-slot greedy on real traces — and what auto's
+/// exact upgrades change (nothing, on byte-scale capacities).
+struct SolverAblationRow {
+  std::string solver;  ///< roster name, e.g. "netmaster[fptas]"
+  double energy_saving = 0.0;
+  double affected_fraction = 0.0;
+  double mean_deferral_latency_s = 0.0;
+};
+
+std::vector<SolverAblationRow> solver_ablation_study(
+    const std::vector<synth::UserProfile>& profiles,
+    const ExperimentConfig& config, unsigned max_threads = 0);
+std::vector<SolverAblationRow> solver_ablation_study(
+    const EvalSession& session, unsigned max_threads = 0);
+
 }  // namespace netmaster::eval

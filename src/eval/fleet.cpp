@@ -44,6 +44,29 @@ std::vector<PolicySpec> standard_policy_suite(
   return suite;
 }
 
+std::vector<PolicySpec> solver_ablation_suite(
+    const policy::NetMasterConfig& config, bool include_exact) {
+  std::vector<sched::SolverChoice> backends = {sched::SolverChoice::kFptas,
+                                               sched::SolverChoice::kGreedy,
+                                               sched::SolverChoice::kAuto};
+  if (include_exact) {
+    backends.insert(backends.begin() + 1, sched::SolverChoice::kExact);
+  }
+  std::vector<PolicySpec> suite;
+  for (const sched::SolverChoice backend : backends) {
+    policy::NetMasterConfig variant = config;
+    variant.solver = backend;
+    suite.push_back(
+        {std::string("netmaster[") + sched::to_string(backend) + "]",
+         [variant](const UserTrace& training) {
+           return std::make_unique<policy::NetMasterPolicy>(training,
+                                                            variant);
+         },
+         {}});
+  }
+  return suite;
+}
+
 namespace {
 
 /// Rebuilds the failure ledger and per-policy aggregates of `report`

@@ -47,6 +47,15 @@ struct PolicySpec {
 std::vector<PolicySpec> standard_policy_suite(
     const policy::NetMasterConfig& config);
 
+/// Solver-ablation roster: one NetMaster variant per SinKnap backend
+/// ("netmaster[fptas]", "netmaster[greedy]", "netmaster[auto]"), all
+/// other knobs taken from `config`. `include_exact` adds
+/// "netmaster[exact]"; it is off by default because the weight-indexed
+/// exact DP throws on byte-scale slot capacities (hours × 25 kB/s blows
+/// its table limit) — enable it only on capacity-bounded instances.
+std::vector<PolicySpec> solver_ablation_suite(
+    const policy::NetMasterConfig& config, bool include_exact = false);
+
 /// One (user, policy) cell of the fleet grid.
 struct FleetCell {
   UserId user = 0;

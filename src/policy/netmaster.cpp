@@ -10,6 +10,7 @@
 #include "obs/metrics.hpp"
 #include "policy/delay_batch.hpp"
 #include "sched/overlap.hpp"
+#include "sched/solver.hpp"
 
 namespace netmaster::policy {
 
@@ -194,8 +195,11 @@ sim::PolicyOutcome NetMasterPolicy::run(
   if (!slot_windows.empty() && !pending.empty()) {
     const sched::Instance inst = sched::build_instance(
         slot_windows, pending, predictor_, config_.profit);
-    const sched::OverlapSolution sol =
-        sched::solve_overlapped(inst.slots, inst.items, config_.eps);
+    sched::SolverOptions solver_options;
+    solver_options.choice = config_.solver;
+    solver_options.eps = config_.eps;
+    const sched::OverlapSolution sol = sched::solve_overlapped(
+        inst.slots, inst.items, solver_options, sched::thread_workspace());
     for (const sched::OverlapAssignment& a : sol.assignments) {
       assignment[inst.item_activity[static_cast<std::size_t>(a.item_id)]] =
           a.slot_index;

@@ -33,6 +33,7 @@
 #include "mining/special_apps.hpp"
 #include "policy/policy.hpp"
 #include "sched/instance.hpp"
+#include "sched/solver.hpp"
 
 namespace netmaster::policy {
 
@@ -53,6 +54,11 @@ struct NetMasterConfig {
   mining::PredictorConfig predictor;  ///< δ = 0.2 weekday / 0.1 weekend
   sched::ProfitConfig profit;
   double eps = 0.1;  ///< SinKnap ε (§V-C)
+  /// Which SinKnap backend Algorithm 1 runs per slot. The default
+  /// (FPTAS) reproduces the paper's schedules bit for bit; `kGreedy`
+  /// trades the (1−ε)/2 guarantee for speed and `kAuto` upgrades small
+  /// slots to the exact DP. See sched/solver.hpp.
+  sched::SolverChoice solver = sched::SolverChoice::kFptas;
   duty::DutyConfig duty;
   RobustnessConfig robustness;
 

@@ -6,14 +6,17 @@
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "sched/solver.hpp"
 
 namespace netmaster::sched {
 
 namespace {
 
-/// Items sorted by profit/weight nonincreasing (zero-weight first).
-std::vector<std::size_t> ratio_order(std::span<const KnapItem> items) {
-  std::vector<std::size_t> order(items.size());
+/// Fills `order` with item indices sorted by profit/weight nonincreasing
+/// (zero-weight first). Reuses the caller's buffer.
+void ratio_order(std::span<const KnapItem> items,
+                 std::vector<std::size_t>& order) {
+  order.resize(items.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     const KnapItem& x = items[a];
@@ -27,7 +30,6 @@ std::vector<std::size_t> ratio_order(std::span<const KnapItem> items) {
     return x.profit * static_cast<double>(y.weight) >
            y.profit * static_cast<double>(x.weight);
   });
-  return order;
 }
 
 void validate_items(std::span<const KnapItem> items) {
@@ -37,10 +39,29 @@ void validate_items(std::span<const KnapItem> items) {
   }
 }
 
+// ---- Flat bit-matrix helpers for the DP "take" tables. The seed
+// kernels used vector<vector<bool>>; a single reused uint64 buffer
+// keeps the same 1-bit-per-cell footprint without per-row allocation.
+// Row width is in words; cell (row, col) lives at
+// bits[row * row_words + col / 64]. ----
+
+inline std::size_t bit_row_words(std::size_t cols) { return (cols + 63) / 64; }
+
+inline void bit_set(std::vector<std::uint64_t>& bits, std::size_t row_words,
+                    std::size_t row, std::size_t col) {
+  bits[row * row_words + col / 64] |= std::uint64_t{1} << (col % 64);
+}
+
+inline bool bit_get(const std::vector<std::uint64_t>& bits,
+                    std::size_t row_words, std::size_t row, std::size_t col) {
+  return (bits[row * row_words + col / 64] >> (col % 64)) & 1;
+}
+
 }  // namespace
 
 KnapResult knapsack_exact(std::span<const KnapItem> items,
-                          std::int64_t capacity) {
+                          std::int64_t capacity, SchedWorkspace& ws,
+                          std::uint64_t* dp_cells) {
   NM_REQUIRE(capacity >= 0, "capacity must be non-negative");
   validate_items(items);
   const std::size_t n = items.size();
@@ -50,20 +71,24 @@ KnapResult knapsack_exact(std::span<const KnapItem> items,
              "exact DP instance too large");
 
   // best[w] = max profit using a prefix of items within weight w;
-  // take[i] records, per weight, whether item i was taken at that cell.
-  std::vector<double> best(cap + 1, 0.0);
-  std::vector<std::vector<bool>> take(n);
+  // take bit (i, c) records whether item i was taken at that cell.
+  std::vector<double>& best = ws.best;
+  best.assign(cap + 1, 0.0);
+  const std::size_t row_words = bit_row_words(cap + 1);
+  std::vector<std::uint64_t>& take = ws.take_bits;
+  take.assign(n * row_words, 0);
 
+  std::uint64_t cells = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    take[i].assign(cap + 1, false);
     const auto w = static_cast<std::size_t>(items[i].weight);
     const double p = items[i].profit;
     if (p <= 0.0 || w > cap) continue;  // never beneficial
+    cells += static_cast<std::uint64_t>(cap + 1 - w);
     for (std::size_t c = cap + 1; c-- > w;) {
       const double candidate = best[c - w] + p;
       if (candidate > best[c]) {
         best[c] = candidate;
-        take[i][c] = true;
+        bit_set(take, row_words, i, c);
       }
     }
   }
@@ -71,7 +96,7 @@ KnapResult knapsack_exact(std::span<const KnapItem> items,
   KnapResult result;
   std::size_t c = cap;
   for (std::size_t i = n; i-- > 0;) {
-    if (take[i][c]) {
+    if (bit_get(take, row_words, i, c)) {
       result.chosen.push_back(items[i].id);
       result.profit += items[i].profit;
       result.weight += items[i].weight;
@@ -79,16 +104,19 @@ KnapResult knapsack_exact(std::span<const KnapItem> items,
     }
   }
   std::reverse(result.chosen.begin(), result.chosen.end());
+  if (dp_cells != nullptr) *dp_cells += cells;
   return result;
 }
 
 KnapResult knapsack_greedy(std::span<const KnapItem> items,
-                           std::int64_t capacity) {
+                           std::int64_t capacity, SchedWorkspace& ws,
+                           std::uint64_t* dp_cells) {
   NM_REQUIRE(capacity >= 0, "capacity must be non-negative");
   validate_items(items);
+  ratio_order(items, ws.order);
   KnapResult result;
   std::int64_t remaining = capacity;
-  for (std::size_t idx : ratio_order(items)) {
+  for (std::size_t idx : ws.order) {
     const KnapItem& item = items[idx];
     if (item.profit <= 0.0) continue;
     if (item.weight <= remaining) {
@@ -98,11 +126,13 @@ KnapResult knapsack_greedy(std::span<const KnapItem> items,
       remaining -= item.weight;
     }
   }
+  (void)dp_cells;  // no DP table; the greedy touches no cells
   return result;
 }
 
 KnapResult knapsack_fptas(std::span<const KnapItem> items,
-                          std::int64_t capacity, double eps) {
+                          std::int64_t capacity, double eps,
+                          SchedWorkspace& ws, std::uint64_t* dp_cells) {
   NM_REQUIRE(capacity >= 0, "capacity must be non-negative");
   NM_REQUIRE(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
   validate_items(items);
@@ -110,7 +140,8 @@ KnapResult knapsack_fptas(std::span<const KnapItem> items,
   // Partition: always-take zero-weight profitable items; candidates are
   // profitable items that fit.
   KnapResult result;
-  std::vector<std::size_t> candidates;
+  std::vector<std::size_t>& candidates = ws.candidates;
+  candidates.clear();
   for (std::size_t i = 0; i < items.size(); ++i) {
     const KnapItem& item = items[i];
     if (item.profit <= 0.0 || item.weight > capacity) continue;
@@ -130,7 +161,8 @@ KnapResult knapsack_fptas(std::span<const KnapItem> items,
   NM_ASSERT(scale > 0.0, "profit scale must be positive");
 
   // Scaled profits; total bounded by n * (n/eps + 1).
-  std::vector<std::int64_t> scaled(candidates.size());
+  std::vector<std::int64_t>& scaled = ws.scaled;
+  scaled.resize(candidates.size());
   std::int64_t total_scaled = 0;
   for (std::size_t k = 0; k < candidates.size(); ++k) {
     scaled[k] = static_cast<std::int64_t>(
@@ -145,17 +177,19 @@ KnapResult knapsack_fptas(std::span<const KnapItem> items,
 
   // min_weight[s] = least weight achieving scaled profit exactly s.
   constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
-  std::vector<std::int64_t> min_weight(
-      static_cast<std::size_t>(total_scaled) + 1, kInf);
+  std::vector<std::int64_t>& min_weight = ws.min_weight;
+  min_weight.assign(static_cast<std::size_t>(total_scaled) + 1, kInf);
   min_weight[0] = 0;
-  std::vector<std::vector<bool>> take(candidates.size());
+  const std::size_t row_words =
+      bit_row_words(static_cast<std::size_t>(total_scaled) + 1);
+  std::vector<std::uint64_t>& take = ws.take_bits;
+  take.assign(candidates.size() * row_words, 0);
 
   std::int64_t reach = 0;  // highest scaled profit reachable so far
   std::uint64_t dp_iterations = 0;  // DP cells touched, for telemetry
   for (std::size_t k = 0; k < candidates.size(); ++k) {
     const KnapItem& item = items[candidates[k]];
     const std::int64_t sp = scaled[k];
-    take[k].assign(static_cast<std::size_t>(total_scaled) + 1, false);
     if (sp == 0) continue;  // contributes < scale; GreedyAdd-style callers
                             // can still pick it up, the bound holds anyway
     reach = std::min(reach + sp, total_scaled);
@@ -166,7 +200,7 @@ KnapResult knapsack_fptas(std::span<const KnapItem> items,
       const std::int64_t w = base + item.weight;
       if (w < min_weight[static_cast<std::size_t>(s)]) {
         min_weight[static_cast<std::size_t>(s)] = w;
-        take[k][static_cast<std::size_t>(s)] = true;
+        bit_set(take, row_words, k, static_cast<std::size_t>(s));
       }
     }
   }
@@ -182,7 +216,7 @@ KnapResult knapsack_fptas(std::span<const KnapItem> items,
   // Reconstruct the chosen set.
   std::int64_t s = best_s;
   for (std::size_t k = candidates.size(); k-- > 0;) {
-    if (s > 0 && take[k][static_cast<std::size_t>(s)]) {
+    if (s > 0 && bit_get(take, row_words, k, static_cast<std::size_t>(s))) {
       const KnapItem& item = items[candidates[k]];
       result.chosen.push_back(item.id);
       result.profit += item.profit;
@@ -203,16 +237,37 @@ KnapResult knapsack_fptas(std::span<const KnapItem> items,
   };
   metrics.solves.add(1);
   metrics.iterations.add(dp_iterations);
+  if (dp_cells != nullptr) *dp_cells += dp_iterations;
   return result;
+}
+
+// ---- Workspace-free entry points: delegate to the kernels above with
+// the calling thread's reusable workspace. ----
+
+KnapResult knapsack_exact(std::span<const KnapItem> items,
+                          std::int64_t capacity) {
+  return knapsack_exact(items, capacity, thread_workspace());
+}
+
+KnapResult knapsack_greedy(std::span<const KnapItem> items,
+                           std::int64_t capacity) {
+  return knapsack_greedy(items, capacity, thread_workspace());
+}
+
+KnapResult knapsack_fptas(std::span<const KnapItem> items,
+                          std::int64_t capacity, double eps) {
+  return knapsack_fptas(items, capacity, eps, thread_workspace());
 }
 
 double fractional_upper_bound(std::span<const KnapItem> items,
                               std::int64_t capacity) {
   NM_REQUIRE(capacity >= 0, "capacity must be non-negative");
   validate_items(items);
+  std::vector<std::size_t> order;
+  ratio_order(items, order);
   double bound = 0.0;
   std::int64_t remaining = capacity;
-  for (std::size_t idx : ratio_order(items)) {
+  for (std::size_t idx : order) {
     const KnapItem& item = items[idx];
     if (item.profit <= 0.0) continue;
     if (item.weight <= remaining) {

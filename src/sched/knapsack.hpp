@@ -11,6 +11,11 @@
 //   - `fractional_upper_bound` — LP relaxation bound for instrumentation.
 //
 // Items carry double profits and int64 weights (bytes).
+//
+// Each solver also has a workspace-parameterized overload (declared in
+// sched/solver.hpp) that reuses caller-owned scratch; the free
+// functions below delegate to those with the calling thread's
+// `SchedWorkspace`, so results are identical either way.
 #pragma once
 
 #include <cstdint>

@@ -2,32 +2,127 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 #include "sched/knapsack.hpp"
+#include "sched/solver.hpp"
 
 namespace netmaster::sched {
 
 namespace {
 
-void validate_instance(std::span<const OverlapSlot> slots,
-                       std::span<const OverlapItem> items) {
+/// Per-item checks shared by every overlap solver. Id uniqueness is
+/// checked separately (by `build_id_index` on the hot path, or a local
+/// sort for the baseline solvers) so the hot path never builds a map.
+void validate_instance_common(std::span<const OverlapSlot> slots,
+                              std::span<const OverlapItem> items) {
   for (const OverlapSlot& slot : slots) {
     NM_REQUIRE(slot.capacity >= 0, "slot capacity must be non-negative");
   }
   const int n = static_cast<int>(slots.size());
-  std::map<int, int> seen_ids;
   for (const OverlapItem& item : items) {
     NM_REQUIRE(item.weight >= 0, "item weight must be non-negative");
+    NM_REQUIRE(std::isfinite(item.profit), "item profits must be finite");
     NM_REQUIRE(item.prev_slot >= -1 && item.prev_slot < n,
                "prev_slot out of range");
     NM_REQUIRE(item.next_slot >= -1 && item.next_slot < n,
                "next_slot out of range");
     NM_REQUIRE(item.prev_slot != item.next_slot || item.prev_slot == -1,
                "candidate slots must differ");
-    NM_REQUIRE(++seen_ids[item.id] == 1, "item ids must be unique");
   }
+}
+
+void validate_instance(std::span<const OverlapSlot> slots,
+                       std::span<const OverlapItem> items) {
+  validate_instance_common(slots, items);
+  std::vector<int> ids;
+  ids.reserve(items.size());
+  for (const OverlapItem& item : items) ids.push_back(item.id);
+  std::sort(ids.begin(), ids.end());
+  NM_REQUIRE(std::adjacent_find(ids.begin(), ids.end()) == ids.end(),
+             "item ids must be unique");
+}
+
+/// Rebuilds the workspace's flat id→item index (sorted by id). This is
+/// the replacement for the seed-era `std::map<int, const OverlapItem*>`
+/// that was built twice per solve: one reused vector, one sort, binary
+/// search lookups, and iterating positions 0..n−1 walks items in
+/// ascending-id order exactly like map iteration did.
+void build_id_index(std::span<const OverlapItem> items, SchedWorkspace& ws) {
+  auto& index = ws.id_index;
+  index.clear();
+  index.reserve(items.size());
+  for (const OverlapItem& item : items) index.emplace_back(item.id, &item);
+  std::sort(index.begin(), index.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (std::size_t i = 1; i < index.size(); ++i) {
+    NM_REQUIRE(index[i - 1].first != index[i].first,
+               "item ids must be unique");
+  }
+}
+
+/// Position of `id` in the sorted index, or npos when absent.
+std::size_t index_position(const SchedWorkspace& ws, int id) {
+  const auto& index = ws.id_index;
+  const auto it = std::lower_bound(
+      index.begin(), index.end(), id,
+      [](const auto& entry, int value) { return entry.first < value; });
+  if (it == index.end() || it->first != id) {
+    return static_cast<std::size_t>(-1);
+  }
+  return static_cast<std::size_t>(it - index.begin());
+}
+
+/// check_feasible body against an already-built ws.id_index.
+void check_feasible_indexed(std::span<const OverlapSlot> slots,
+                            std::span<const OverlapItem> items,
+                            const OverlapSolution& solution,
+                            SchedWorkspace& ws) {
+  ws.used.assign(slots.size(), 0);
+  ws.times_assigned.assign(items.size(), 0);
+  double profit = 0.0;
+  for (const OverlapAssignment& a : solution.assignments) {
+    const std::size_t pos = index_position(ws, a.item_id);
+    NM_REQUIRE(pos != static_cast<std::size_t>(-1),
+               "assignment references unknown item");
+    const OverlapItem& item = *ws.id_index[pos].second;
+    NM_REQUIRE(a.slot_index == item.prev_slot ||
+                   a.slot_index == item.next_slot,
+               "item assigned to a non-candidate slot");
+    NM_REQUIRE(++ws.times_assigned[pos] == 1,
+               "item assigned more than once");
+    ws.used[static_cast<std::size_t>(a.slot_index)] += item.weight;
+    profit += item.profit;
+  }
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    NM_REQUIRE(ws.used[i] <= slots[i].capacity, "slot capacity exceeded");
+  }
+  NM_REQUIRE(std::abs(profit - solution.total_profit) <=
+                 1e-6 * std::max(1.0, std::abs(profit)),
+             "reported profit does not match assignments");
+}
+
+/// Fractional (LP) bound over an already ratio-sorted per-slot itemset —
+/// same result as `fractional_upper_bound`, without re-sorting.
+double sorted_fractional_bound(const std::vector<KnapItem>& sorted,
+                               std::int64_t capacity) {
+  double bound = 0.0;
+  std::int64_t remaining = capacity;
+  for (const KnapItem& item : sorted) {
+    if (item.profit <= 0.0) continue;
+    if (item.weight <= remaining) {
+      bound += item.profit;
+      remaining -= item.weight;
+    } else {
+      if (item.weight > 0 && remaining > 0) {
+        bound += item.profit * static_cast<double>(remaining) /
+                 static_cast<double>(item.weight);
+      }
+      break;
+    }
+  }
+  return bound;
 }
 
 }  // namespace
@@ -35,44 +130,32 @@ void validate_instance(std::span<const OverlapSlot> slots,
 void check_feasible(std::span<const OverlapSlot> slots,
                     std::span<const OverlapItem> items,
                     const OverlapSolution& solution) {
-  std::map<int, const OverlapItem*> by_id;
-  for (const OverlapItem& item : items) by_id[item.id] = &item;
-
-  std::vector<std::int64_t> used(slots.size(), 0);
-  std::map<int, int> times_assigned;
-  double profit = 0.0;
-  for (const OverlapAssignment& a : solution.assignments) {
-    const auto it = by_id.find(a.item_id);
-    NM_REQUIRE(it != by_id.end(), "assignment references unknown item");
-    const OverlapItem& item = *it->second;
-    NM_REQUIRE(a.slot_index == item.prev_slot ||
-                   a.slot_index == item.next_slot,
-               "item assigned to a non-candidate slot");
-    NM_REQUIRE(++times_assigned[a.item_id] == 1,
-               "item assigned more than once");
-    used[static_cast<std::size_t>(a.slot_index)] += item.weight;
-    profit += item.profit;
-  }
-  for (std::size_t i = 0; i < slots.size(); ++i) {
-    NM_REQUIRE(used[i] <= slots[i].capacity, "slot capacity exceeded");
-  }
-  NM_REQUIRE(std::abs(profit - solution.total_profit) <=
-                 1e-6 * std::max(1.0, std::abs(profit)),
-             "reported profit does not match assignments");
+  SchedWorkspace& ws = thread_workspace();
+  build_id_index(items, ws);
+  check_feasible_indexed(slots, items, solution, ws);
 }
 
 OverlapSolution solve_overlapped(std::span<const OverlapSlot> slots,
                                  std::span<const OverlapItem> items,
-                                 double eps) {
-  NM_REQUIRE(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
-  validate_instance(slots, items);
+                                 const SolverOptions& options,
+                                 SchedWorkspace& ws, SolveStats* stats_out) {
+  options.validate();
+  validate_instance_common(slots, items);
+  build_id_index(items, ws);  // also enforces id uniqueness
+  ++ws.solves_;
 
-  std::map<int, const OverlapItem*> by_id;
-  for (const OverlapItem& item : items) by_id[item.id] = &item;
+  const SinKnapSolver& solver = solver_for(options.choice);
+  SolveStats stats;
+  stats.requested = options.choice;
+  stats.items = items.size();
+  stats.slots = slots.size();
 
   // Step 1 (duplication): per-slot itemsets, each item in both
-  // candidate slots.
-  std::vector<std::vector<KnapItem>> slot_items(slots.size());
+  // candidate slots. The outer vector only grows; per-slot vectors keep
+  // their capacity across solves.
+  auto& slot_items = ws.slot_items;
+  if (slot_items.size() < slots.size()) slot_items.resize(slots.size());
+  for (std::size_t s = 0; s < slots.size(); ++s) slot_items[s].clear();
   for (const OverlapItem& item : items) {
     for (int s : {item.prev_slot, item.next_slot}) {
       if (s >= 0) {
@@ -85,8 +168,13 @@ OverlapSolution solve_overlapped(std::span<const OverlapSlot> slots,
   // Step 2 (sorting) + step 3 (SinKnap per slot). The FPTAS does not
   // require sorted input, but we keep the paper's ordering so the
   // per-slot itemsets match Algorithm 1 line by line (and ties in the
-  // later greedy step resolve in ratio order).
-  std::vector<std::vector<int>> chosen_per_slot(slots.size());
+  // later greedy step resolve in ratio order). The backend choice is
+  // resolved per slot: identity for the concrete solvers, per-instance
+  // cost comparison for kAuto.
+  auto& chosen_per_slot = ws.chosen_per_slot;
+  if (chosen_per_slot.size() < slots.size()) {
+    chosen_per_slot.resize(slots.size());
+  }
   for (std::size_t s = 0; s < slots.size(); ++s) {
     auto& list = slot_items[s];
     std::sort(list.begin(), list.end(),
@@ -99,37 +187,72 @@ OverlapSolution solve_overlapped(std::span<const OverlapSlot> slots,
                 return a.profit * static_cast<double>(b.weight) >
                        b.profit * static_cast<double>(a.weight);
               });
-    chosen_per_slot[s] =
-        knapsack_fptas(list, slots[s].capacity, eps).chosen;
+    stats.duplicated_items += list.size();
+    stats.upper_bound += sorted_fractional_bound(list, slots[s].capacity);
+
+    const SolverChoice resolved =
+        solver.resolve(list.size(), slots[s].capacity, options);
+    switch (resolved) {
+      case SolverChoice::kFptas:
+        ++stats.slot_solves_fptas;
+        break;
+      case SolverChoice::kExact:
+        ++stats.slot_solves_exact;
+        break;
+      case SolverChoice::kGreedy:
+        ++stats.slot_solves_greedy;
+        break;
+      case SolverChoice::kAuto:
+        NM_ASSERT(false, "auto must resolve to a concrete backend");
+        break;
+    }
+    chosen_per_slot[s] = solver_for(resolved)
+                             .solve(list, slots[s].capacity, options, ws,
+                                    stats.dp_cells)
+                             .chosen;
   }
 
   // Step 4a (filtering): an item selected in both slots keeps the slot
   // with the smaller C(ti) − V(nj) — the tighter fit — leaving the
-  // roomier slot free for GreedyAdd.
-  std::map<int, std::vector<int>> slots_of_item;
+  // roomier slot free for GreedyAdd. Candidate slots are gathered into
+  // flat per-position scratch (position in the sorted id index), and
+  // the position walk below visits items in ascending-id order, exactly
+  // like the seed-era `std::map<int, std::vector<int>>` iteration.
+  const std::size_t n = items.size();
+  ws.cand_slot[0].resize(n);
+  ws.cand_slot[1].resize(n);
+  ws.cand_count.assign(n, 0);
+  ws.assigned.assign(n, 0);
   for (std::size_t s = 0; s < slots.size(); ++s) {
     for (int id : chosen_per_slot[s]) {
-      slots_of_item[id].push_back(static_cast<int>(s));
+      const std::size_t pos = index_position(ws, id);
+      NM_ASSERT(pos != static_cast<std::size_t>(-1),
+                "SinKnap chose an unknown item");
+      NM_ASSERT(ws.cand_count[pos] < 2, "item chosen in more than 2 slots");
+      ws.cand_slot[ws.cand_count[pos]][pos] = static_cast<int>(s);
+      ++ws.cand_count[pos];
     }
   }
 
   OverlapSolution solution;
   solution.slot_used.assign(slots.size(), 0);
-  std::map<int, bool> assigned;
-  for (const auto& [id, cand] : slots_of_item) {
-    const OverlapItem& item = *by_id.at(id);
-    int slot = cand.front();
-    if (cand.size() == 2) {
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    if (ws.cand_count[pos] == 0) continue;
+    const OverlapItem& item = *ws.id_index[pos].second;
+    int slot = ws.cand_slot[0][pos];
+    if (ws.cand_count[pos] == 2) {
       const std::int64_t r0 =
-          slots[static_cast<std::size_t>(cand[0])].capacity - item.weight;
+          slots[static_cast<std::size_t>(ws.cand_slot[0][pos])].capacity -
+          item.weight;
       const std::int64_t r1 =
-          slots[static_cast<std::size_t>(cand[1])].capacity - item.weight;
-      slot = r0 <= r1 ? cand[0] : cand[1];
+          slots[static_cast<std::size_t>(ws.cand_slot[1][pos])].capacity -
+          item.weight;
+      slot = r0 <= r1 ? ws.cand_slot[0][pos] : ws.cand_slot[1][pos];
     }
-    solution.assignments.push_back({id, slot});
+    solution.assignments.push_back({item.id, slot});
     solution.slot_used[static_cast<std::size_t>(slot)] += item.weight;
     solution.total_profit += item.profit;
-    assigned[id] = true;
+    ws.assigned[pos] = 1;
   }
 
   // Capacity cannot overflow after filtering: each slot only lost items
@@ -137,22 +260,68 @@ OverlapSolution solve_overlapped(std::span<const OverlapSlot> slots,
   // Step 4b (GreedyAdd): fill residual capacity with still-unassigned
   // items, best ratio first.
   for (std::size_t s = 0; s < slots.size(); ++s) {
-    std::int64_t residual =
-        slots[s].capacity - solution.slot_used[s];
+    std::int64_t residual = slots[s].capacity - solution.slot_used[s];
     for (const KnapItem& ki : slot_items[s]) {  // already ratio-sorted
-      if (assigned.count(ki.id) || ki.profit <= 0.0) continue;
+      const std::size_t pos = index_position(ws, ki.id);
+      if (ws.assigned[pos] != 0 || ki.profit <= 0.0) continue;
       if (ki.weight <= residual) {
         solution.assignments.push_back({ki.id, static_cast<int>(s)});
         solution.slot_used[s] += ki.weight;
         solution.total_profit += ki.profit;
         residual -= ki.weight;
-        assigned[ki.id] = true;
+        ws.assigned[pos] = 1;
       }
     }
   }
 
-  check_feasible(slots, items, solution);
+  check_feasible_indexed(slots, items, solution, ws);
+
+  stats.profit = solution.total_profit;
+  if (stats.upper_bound > 0.0) {
+    stats.gap = std::clamp(
+        (stats.upper_bound - stats.profit) / stats.upper_bound, 0.0, 1.0);
+  }
+
+  struct SolverMetrics {
+    obs::Counter& solves;
+    obs::Counter& items;
+    obs::Counter& slots;
+    obs::Counter& dp_cells;
+    obs::Counter& backend_fptas;
+    obs::Counter& backend_exact;
+    obs::Counter& backend_greedy;
+    obs::Histogram& gap;
+  };
+  static SolverMetrics metrics{
+      obs::Registry::global().counter("sched.solver.solves"),
+      obs::Registry::global().counter("sched.solver.items"),
+      obs::Registry::global().counter("sched.solver.slots"),
+      obs::Registry::global().counter("sched.solver.dp_cells"),
+      obs::Registry::global().counter("sched.solver.slot_solves.fptas"),
+      obs::Registry::global().counter("sched.solver.slot_solves.exact"),
+      obs::Registry::global().counter("sched.solver.slot_solves.greedy"),
+      obs::Registry::global().histogram("sched.solver.gap",
+                                        obs::fraction_bounds()),
+  };
+  metrics.solves.add(1);
+  metrics.items.add(stats.items);
+  metrics.slots.add(stats.slots);
+  metrics.dp_cells.add(stats.dp_cells);
+  metrics.backend_fptas.add(stats.slot_solves_fptas);
+  metrics.backend_exact.add(stats.slot_solves_exact);
+  metrics.backend_greedy.add(stats.slot_solves_greedy);
+  metrics.gap.add(stats.gap);
+
+  if (stats_out != nullptr) *stats_out = stats;
   return solution;
+}
+
+OverlapSolution solve_overlapped(std::span<const OverlapSlot> slots,
+                                 std::span<const OverlapItem> items,
+                                 double eps) {
+  SolverOptions options;
+  options.eps = eps;
+  return solve_overlapped(slots, items, options, thread_workspace());
 }
 
 OverlapSolution solve_overlapped_greedy(std::span<const OverlapSlot> slots,

@@ -56,6 +56,8 @@ struct OverlapSolution {
 /// Algorithm 1. eps in (0,1); the result is feasible (per-slot weight
 /// within capacity, each item assigned at most once, only to one of its
 /// two candidate slots) and totals at least (1−ε)/2 of the optimum.
+/// Delegates to the backend-parameterized overload in sched/solver.hpp
+/// with the FPTAS backend and the calling thread's workspace.
 OverlapSolution solve_overlapped(std::span<const OverlapSlot> slots,
                                  std::span<const OverlapItem> items,
                                  double eps);

@@ -84,7 +84,11 @@ sched::OverlapSolution SchedulingComponent::decide(
              "decide() requires a mining broadcast first");
   const sched::Instance inst = sched::build_instance(
       active_slots, pending, *predictor_, config_.profit);
-  return sched::solve_overlapped(inst.slots, inst.items, config_.eps);
+  sched::SolverOptions solver_options;
+  solver_options.choice = config_.solver;
+  solver_options.eps = config_.eps;
+  return sched::solve_overlapped(inst.slots, inst.items, solver_options,
+                                 sched::thread_workspace(), &last_stats_);
 }
 
 NetMasterService::NetMasterService(policy::NetMasterConfig config)

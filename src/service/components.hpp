@@ -84,10 +84,14 @@ class SchedulingComponent {
 
   /// Decision making: the scheduling plan for pending activities
   /// (delegates to Algorithm 1 through the policy layer's instance
-  /// builder). Requires a model.
+  /// builder, using the configured solver backend). Requires a model.
   sched::OverlapSolution decide(
       std::span<const Interval> active_slots,
       std::span<const NetworkActivity> pending) const;
+
+  /// Solve report of the most recent decide() call (zero-initialized
+  /// before the first decision): backend taken, DP cells, bound gap.
+  const sched::SolveStats& last_solve_stats() const { return last_stats_; }
 
   const policy::NetMasterConfig& config() const { return config_; }
   std::size_t radio_switches() const { return radio_switches_; }
@@ -99,6 +103,7 @@ class SchedulingComponent {
   duty::DutyCycler duty_;
   bool radio_on_ = false;
   std::size_t radio_switches_ = 0;
+  mutable sched::SolveStats last_stats_;
 
   RadioCommand set_radio(bool on);
 };

@@ -17,6 +17,7 @@
 
 #include "engine/trace_index.hpp"
 #include "policy/netmaster.hpp"
+#include "sched/solver.hpp"
 #include "sim/outcome.hpp"
 #include "trace/trace.hpp"
 
@@ -26,6 +27,14 @@ struct OnlineSimResult {
   sim::PolicyOutcome outcome;      ///< accountable like any policy run
   std::size_t events_processed = 0;
   std::size_t radio_switches = 0;  ///< svc data enable/disable calls
+  /// Advisory whole-horizon Algorithm 1 plan, computed once per run
+  /// with the configured solver backend over the same mined model and
+  /// deferrable classification as the policy path. The event loop's
+  /// executed releases stay nearest-opportunity — the plan only feeds
+  /// instrumentation (and lets tests compare the online path's solver
+  /// stats against the policy path's).
+  std::size_t planned_assignments = 0;
+  sched::SolveStats plan_stats;
 };
 
 /// Trains on `training`, then replays the indexed eval trace through

@@ -2,6 +2,8 @@
 // as a property suite against the exact DP.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "sched/knapsack.hpp"
@@ -40,6 +42,20 @@ TEST(KnapsackExact, EmptyAndErrors) {
   const std::vector<KnapItem> neg = {{0, 1.0, -2}};
   EXPECT_THROW(knapsack_exact(neg, 10), Error);
   EXPECT_THROW(knapsack_exact({}, 100'000'000), Error);
+}
+
+TEST(KnapsackValidation, RejectsNonFiniteProfit) {
+  // A NaN profit would poison the ratio sort and the DP silently;
+  // every kernel must reject it up front with a clear error.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const double bad : {nan, inf, -inf}) {
+    const std::vector<KnapItem> items = {{0, 2.0, 1}, {1, bad, 1}};
+    EXPECT_THROW(knapsack_exact(items, 10), Error);
+    EXPECT_THROW(knapsack_greedy(items, 10), Error);
+    EXPECT_THROW(knapsack_fptas(items, 10, 0.1), Error);
+    EXPECT_THROW(fractional_upper_bound(items, 10), Error);
+  }
 }
 
 TEST(KnapsackGreedy, TakesByRatio) {

@@ -2,6 +2,8 @@
 // itemsets — including the (1−ε)/2 bound against brute force.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "sched/overlap.hpp"
@@ -100,6 +102,21 @@ TEST(Algorithm1, ValidationErrors) {
   std::vector<OverlapItem> fine = {{0, 1, 1.0, 0, 1}};
   EXPECT_THROW(solve_overlapped(ok, fine, 0.0), Error);
   EXPECT_THROW(solve_overlapped(ok, fine, 1.0), Error);
+}
+
+TEST(Algorithm1, RejectsNonFiniteProfit) {
+  // Instance validation must catch non-finite profits before any item
+  // reaches the per-slot kernels, for every solve entry point.
+  const std::vector<OverlapSlot> slots = {{0, 10}, {1, 10}};
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const double bad : {nan, inf, -inf}) {
+    const std::vector<OverlapItem> items = {{0, 1, 2.0, 0, 1},
+                                            {1, 1, bad, 0, 1}};
+    EXPECT_THROW(solve_overlapped(slots, items, 0.1), Error);
+    EXPECT_THROW(solve_overlapped_greedy(slots, items), Error);
+    EXPECT_THROW(solve_overlapped_exact(slots, items), Error);
+  }
 }
 
 TEST(CheckFeasible, CatchesViolations) {

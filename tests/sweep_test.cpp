@@ -29,6 +29,7 @@
 #include "policy/delay_batch.hpp"
 #include "policy/netmaster.hpp"
 #include "policy/oracle.hpp"
+#include "sched/solver.hpp"
 #include "synth/presets.hpp"
 
 namespace netmaster::eval {
@@ -384,6 +385,70 @@ TEST(GoldenFigures, ComparisonMatchesSeedRunnerBitForBit) {
       EXPECT_EQ(got.rows[r].peak_down_ratio, want.rows[r].peak_down_ratio);
     }
   }
+}
+
+TEST(GoldenFigures, SolverKnobDefaultMatchesExplicitFptasBitForBit) {
+  // The solver-layer refactor must leave the default path untouched:
+  // NetMaster with an untouched config and NetMaster with the solver
+  // knob explicitly set to kFptas replay to identical reports, and the
+  // alternate backends (greedy, auto) complete on real traces where
+  // the exact DP would throw on byte-scale slot capacities.
+  const ExperimentConfig cfg = golden_config();
+  const EvalSession session(golden_profiles(), cfg);
+
+  auto netmaster_spec = [](const char* name,
+                           const policy::NetMasterConfig& nm) {
+    PolicySpec spec;
+    spec.name = name;
+    spec.make = [nm](const UserTrace& training) {
+      return std::make_unique<policy::NetMasterPolicy>(training, nm);
+    };
+    return spec;
+  };
+  policy::NetMasterConfig explicit_fptas = cfg.netmaster;
+  explicit_fptas.solver = sched::SolverChoice::kFptas;
+  policy::NetMasterConfig greedy_nm = cfg.netmaster;
+  greedy_nm.solver = sched::SolverChoice::kGreedy;
+  policy::NetMasterConfig auto_nm = cfg.netmaster;
+  auto_nm.solver = sched::SolverChoice::kAuto;
+
+  const std::vector<PolicySpec> specs = {
+      netmaster_spec("default", cfg.netmaster),
+      netmaster_spec("fptas", explicit_fptas),
+      netmaster_spec("greedy", greedy_nm),
+      netmaster_spec("auto", auto_nm)};
+  for (const unsigned threads : {1u, 0u}) {
+    const FleetReport report = run_fleet(session, specs, threads);
+    EXPECT_TRUE(report.failures.empty());
+    for (std::size_t u = 0; u < report.num_users; ++u) {
+      const FleetCell& def = report.at(u, 0);
+      const FleetCell& fptas = report.at(u, 1);
+      EXPECT_EQ(def.report.energy_j, fptas.report.energy_j);
+      EXPECT_EQ(def.energy_saving, fptas.energy_saving);
+      EXPECT_EQ(def.report.affected_fraction,
+                fptas.report.affected_fraction);
+      EXPECT_EQ(def.report.mean_deferral_latency_s,
+                fptas.report.mean_deferral_latency_s);
+      EXPECT_FALSE(report.at(u, 2).failed);
+      EXPECT_FALSE(report.at(u, 3).failed);
+    }
+  }
+
+  // The solver-ablation roster rides the same session: fptas / greedy /
+  // auto columns, all completing, with the fptas column agreeing with
+  // the default-config NetMaster cell grid above.
+  const auto rows = solver_ablation_study(session);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].solver, "netmaster[fptas]");
+  EXPECT_EQ(rows[1].solver, "netmaster[greedy]");
+  EXPECT_EQ(rows[2].solver, "netmaster[auto]");
+  double default_saving = 0.0;
+  const FleetReport report = run_fleet(session, specs, 1);
+  for (std::size_t u = 0; u < report.num_users; ++u) {
+    default_saving += report.at(u, 0).energy_saving;
+  }
+  default_saving /= static_cast<double>(report.num_users);
+  EXPECT_EQ(rows[0].energy_saving, default_saving);
 }
 
 // ---- Sweep driver semantics. -----------------------------------------
