@@ -22,6 +22,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -32,6 +33,24 @@
 namespace netmaster::bench {
 
 inline constexpr std::uint64_t kDefaultSeed = 42;
+
+/// Peak resident set size (VmHWM) of this process in bytes, read from
+/// /proc/self/status; 0 when the proc interface is unavailable. Every
+/// bench JSON carries it so footprint regressions show up in the same
+/// dump as the timing ones.
+inline std::uint64_t peak_rss_bytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::uint64_t kib = 0;
+      std::istringstream fields(line.substr(6));
+      fields >> kib;
+      return kib * 1024;
+    }
+  }
+  return 0;
+}
 
 /// Captures banners, figure tables and scalar results for the
 /// machine-readable bench dump.
@@ -96,9 +115,9 @@ class FigureRecorder {
       }
       out << "]}";
     }
-    out << "],\"scalars\":{";
+    out << "],\"scalars\":{\"peak_rss_bytes\":" << peak_rss_bytes();
     for (std::size_t i = 0; i < scalars_.size(); ++i) {
-      out << (i > 0 ? "," : "") << '"' << obs::json_escape(scalars_[i].first)
+      out << ",\"" << obs::json_escape(scalars_[i].first)
           << "\":" << scalars_[i].second;
     }
     out << "},\"metrics\":";

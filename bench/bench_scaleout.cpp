@@ -13,9 +13,11 @@
 #include "obs/span.hpp"
 #include "common/parallel.hpp"
 #include "common/stats.hpp"
+#include "engine/trace_index.hpp"
 #include "eval/battery.hpp"
 #include "eval/experiments.hpp"
 #include "eval/fleet.hpp"
+#include "eval/session.hpp"
 #include "policy/baseline.hpp"
 #include "policy/netmaster.hpp"
 #include "sim/accounting.hpp"
@@ -76,6 +78,7 @@ std::vector<UserResult> run_population(int n, unsigned max_threads = 0) {
 }
 
 void print_fleet_figure();
+void print_memory_figure();
 
 void print_figure() {
   bench::banner("Extension — population scale-out",
@@ -199,6 +202,95 @@ void print_fleet_figure() {
   bench::emit(t, "fleet_vs_legacy");
   std::cout << "expected shape: speedup >= 1.3x at every population size; "
                "cell energies bit-identical between paths\n\n";
+  print_memory_figure();
+}
+
+// ---- Memory architecture — all-resident vs spill-to-disk fleet. ----
+//
+// "before" is the all-resident shape the eval layer had prior to the
+// memory refactor: every user's AoS traces stay hydrated for the whole
+// run (UserStore cap 0) next to the per-user index arenas. "after"
+// runs the same fleet with a small cache cap, so AoS traces spill to
+// disk blobs and the steady-state footprint is the arena-backed SoA
+// columns plus the bounded blob cache. Spilling is a memory policy,
+// not a semantic one: every cell's accounting must stay bit-identical
+// to the golden all-resident replay.
+
+void print_memory_figure() {
+  bench::banner(
+      "Memory architecture — arena + SoA columns + spill-to-disk store",
+      "bounded resident footprint at fleet scale "
+      "(refactor target: >= 2x users per GB, bit-identical results)");
+  eval::Table t({"users", "before MB", "after MB", "users/GB before",
+                 "users/GB after", "gain", "replay ns/event", "results"});
+  eval::ExperimentConfig resident_cfg;
+  resident_cfg.seed = bench::kDefaultSeed;
+  const auto suite = eval::standard_policy_suite(resident_cfg.netmaster);
+  constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+  constexpr double kMiB = 1024.0 * 1024.0;
+  for (int n : {8, 16, 32}) {
+    const auto users = population(n);
+
+    const eval::EvalSession resident(users, resident_cfg);
+    const eval::FleetReport golden = eval::run_fleet(resident, suite);
+    const double before_bytes =
+        static_cast<double>(resident.store().resident_bytes()) +
+        static_cast<double>(resident.arena_bytes());
+
+    eval::ExperimentConfig spill_cfg = resident_cfg;
+    spill_cfg.store.cache_cap_bytes = 256 * 1024;
+    const eval::EvalSession spilled(users, spill_cfg);
+    std::size_t events = 0;
+    for (std::size_t u = 0; u < spilled.num_users(); ++u) {
+      events += spilled.index(u).activities().size();
+    }
+    obs::ScopedTimer timer;
+    const eval::FleetReport report = eval::run_fleet(spilled, suite);
+    const double replay_ms = timer.stop();
+    const double after_bytes =
+        static_cast<double>(spilled.store().resident_bytes()) +
+        static_cast<double>(spilled.arena_bytes());
+    NM_REQUIRE(spilled.store().evictions() > 0,
+               "the spill bench must actually exceed its cache cap");
+
+    bool identical = report.cells.size() == golden.cells.size();
+    for (std::size_t c = 0; identical && c < report.cells.size(); ++c) {
+      identical = report.cells[c].report.energy_j ==
+                      golden.cells[c].report.energy_j &&
+                  report.cells[c].report.radio_on_ms ==
+                      golden.cells[c].report.radio_on_ms;
+    }
+
+    const double per_gb_before =
+        before_bytes > 0.0 ? n * kGiB / before_bytes : 0.0;
+    const double per_gb_after =
+        after_bytes > 0.0 ? n * kGiB / after_bytes : 0.0;
+    const double gain =
+        per_gb_before > 0.0 ? per_gb_after / per_gb_before : 0.0;
+    const std::size_t total_events = events * suite.size();
+    const double ns_per_event =
+        total_events > 0 ? replay_ms * 1e6 / total_events : 0.0;
+    const std::string tag = "_" + std::to_string(n) + "_users";
+    bench::record_scalar("mem_users_per_gb_before" + tag, per_gb_before);
+    bench::record_scalar("mem_users_per_gb_after" + tag, per_gb_after);
+    bench::record_scalar("mem_footprint_gain" + tag, gain);
+    bench::record_scalar("mem_replay_ns_per_event" + tag, ns_per_event);
+    bench::record_scalar("mem_store_evictions" + tag,
+                         static_cast<double>(spilled.store().evictions()));
+    bench::record_scalar("mem_spill_bit_identical" + tag,
+                         identical ? 1.0 : 0.0);
+    t.add_row({std::to_string(n), eval::Table::num(before_bytes / kMiB, 1),
+               eval::Table::num(after_bytes / kMiB, 1),
+               eval::Table::num(per_gb_before, 0),
+               eval::Table::num(per_gb_after, 0),
+               eval::Table::num(gain, 2) + "x",
+               eval::Table::num(ns_per_event, 1),
+               identical ? "bit-identical" : "MISMATCH"});
+  }
+  bench::emit(t, "memory_architecture");
+  std::cout << "expected shape: >= 2x users per GB at every population "
+               "size; spilled replay bit-identical to the golden "
+               "all-resident run\n\n";
 }
 
 void BM_LegacySweep16(benchmark::State& state) {
@@ -222,6 +314,18 @@ void BM_FleetSweep16(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FleetSweep16)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_SpillSweep16(benchmark::State& state) {
+  eval::ExperimentConfig cfg;
+  cfg.seed = bench::kDefaultSeed;
+  cfg.store.cache_cap_bytes = 256 * 1024;
+  const auto suite = eval::standard_policy_suite(cfg.netmaster);
+  const eval::EvalSession session(population(16), cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval::run_fleet(session, suite));
+  }
+}
+BENCHMARK(BM_SpillSweep16)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_Population16(benchmark::State& state) {
   const auto threads = static_cast<unsigned>(state.range(0));

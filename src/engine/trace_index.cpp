@@ -1,6 +1,7 @@
 #include "engine/trace_index.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/error.hpp"
 #include "obs/span.hpp"
@@ -8,43 +9,72 @@
 namespace netmaster::engine {
 
 TraceIndex::TraceIndex(const UserTrace& trace)
-    : trace_(&trace), horizon_(trace.trace_end()) {
+    : trace_(&trace),
+      source_(mem::Lifetime::immortal()),
+      owned_arena_(std::make_unique<mem::Arena>()) {
+  build(trace, *owned_arena_);
+}
+
+TraceIndex::TraceIndex(const UserTrace& trace, mem::Arena& arena,
+                       mem::LifetimeHandle source)
+    : trace_(&trace), source_(std::move(source)) {
+  build(trace, arena);
+}
+
+void TraceIndex::build(const UserTrace& trace, mem::Arena& arena) {
   const obs::SpanScope span("engine.index_build");
-  const std::vector<NetworkActivity>& acts = trace.activities;
-  deferrable_flags_.resize(acts.size(), false);
+  horizon_ = trace.trace_end();
+
+  // SoA copies of the trace columns — after this the index never needs
+  // the AoS trace again.
+  columns_ = mem::TraceColumns::build(trace, arena);
+
+  // Classification pass over the columns. One zeroed bit per activity,
+  // plus the compact ascending index list (u32: a trace with > 4G
+  // activities would have long blown the per-user budget).
+  const mem::ActivityColumns& acts = columns_.activities;
+  auto [flags, flag_words] = mem::BitSpan::build(acts.size(), arena);
+  deferrable_flags_ = flags;
+  std::vector<std::uint32_t> deferrable;
   for (std::size_t i = 0; i < acts.size(); ++i) {
-    if (acts[i].deferrable && !screen_on_at(acts[i].start)) {
-      deferrable_flags_[i] = true;
-      deferrable_.push_back(i);
+    if (acts.deferrable_at(i) && !columns_screen_on_at(acts.start_at(i))) {
+      mem::BitSpan::set(flag_words, i);
+      deferrable.push_back(static_cast<std::uint32_t>(i));
     }
   }
+  deferrable_ = arena.copy_array<std::uint32_t>(deferrable);
 
   // Per-(day, hour) buckets. Events outside [0, horizon) are skipped so
   // the index stays total on malformed traces (validate() still rejects
   // them where strictness matters).
-  const int days = std::max(trace.num_days, 0);
-  buckets_.resize(static_cast<std::size_t>(days) * kHoursPerDay);
-  const std::size_t num_apps = trace.app_names.size();
-  std::vector<bool> app_seen(buckets_.size() * num_apps, false);
-  for (const AppUsage& u : trace.usages) {
-    if (u.time < 0 || u.time >= horizon_) continue;
-    ++buckets_[static_cast<std::size_t>(day_of(u.time)) * kHoursPerDay +
-               static_cast<std::size_t>(hour_of(u.time))]
+  const int days = std::max(columns_.num_days, 0);
+  std::span<HourBucket> buckets =
+      arena.alloc_zeroed<HourBucket>(static_cast<std::size_t>(days) *
+                                     kHoursPerDay);
+  buckets_ = buckets;
+  const std::size_t num_apps = columns_.app_names.size();
+  std::vector<bool> app_seen(buckets.size() * num_apps, false);
+  const mem::UsageColumns& usages = columns_.usages;
+  for (std::size_t i = 0; i < usages.size(); ++i) {
+    const TimeMs t = usages.time_at(i);
+    if (t < 0 || t >= horizon_) continue;
+    ++buckets[static_cast<std::size_t>(day_of(t)) * kHoursPerDay +
+              static_cast<std::size_t>(hour_of(t))]
           .usage_count;
   }
   for (std::size_t i = 0; i < acts.size(); ++i) {
-    const NetworkActivity& n = acts[i];
-    if (n.start < 0 || n.start >= horizon_) continue;
-    if (screen_on_at(n.start)) continue;  // screen-off only (Eq. 3)
+    const TimeMs start = acts.start_at(i);
+    if (start < 0 || start >= horizon_) continue;
+    if (columns_screen_on_at(start)) continue;  // screen-off only (Eq. 3)
     const std::size_t b =
-        static_cast<std::size_t>(day_of(n.start)) * kHoursPerDay +
-        static_cast<std::size_t>(hour_of(n.start));
-    HourBucket& bucket = buckets_[b];
+        static_cast<std::size_t>(day_of(start)) * kHoursPerDay +
+        static_cast<std::size_t>(hour_of(start));
+    HourBucket& bucket = buckets[b];
     ++bucket.net_count;
-    bucket.net_bytes += static_cast<double>(n.total_bytes());
-    if (n.app >= 0 && static_cast<std::size_t>(n.app) < num_apps) {
-      const std::size_t bit =
-          b * num_apps + static_cast<std::size_t>(n.app);
+    bucket.net_bytes += static_cast<double>(acts.total_bytes_at(i));
+    const AppId app = acts.app_at(i);
+    if (app >= 0 && static_cast<std::size_t>(app) < num_apps) {
+      const std::size_t bit = b * num_apps + static_cast<std::size_t>(app);
       if (!app_seen[bit]) {
         app_seen[bit] = true;
         ++bucket.distinct_net_apps;
@@ -53,49 +83,77 @@ TraceIndex::TraceIndex(const UserTrace& trace)
   }
 }
 
+const UserTrace& TraceIndex::trace() const {
+  NM_REQUIRE(source_.alive(),
+             "TraceIndex::trace — the source trace was evicted or moved "
+             "from; replay must use the index's columnar accessors");
+  return *trace_;
+}
+
+bool TraceIndex::columns_screen_on_at(TimeMs t) const {
+  const std::span<const TimeMs> ends = columns_.sessions.ends();
+  const auto it = std::lower_bound(ends.begin(), ends.end(), t,
+                                   [](TimeMs end, TimeMs v) {
+                                     return end <= v;
+                                   });
+  if (it == ends.end()) return false;
+  const std::size_t i = static_cast<std::size_t>(it - ends.begin());
+  return columns_.sessions.begin_at(i) <= t && t < *it;
+}
+
 bool TraceIndex::screen_on_at(TimeMs t) const {
-  const std::vector<ScreenSession>& sessions = trace_->sessions;
-  auto it = std::lower_bound(
-      sessions.begin(), sessions.end(), t,
-      [](const ScreenSession& s, TimeMs v) { return s.end <= v; });
-  return it != sessions.end() && it->begin <= t && t < it->end;
+  return columns_screen_on_at(t);
 }
 
 std::size_t TraceIndex::first_session_at_or_after(TimeMs t) const {
-  const std::vector<ScreenSession>& sessions = trace_->sessions;
-  const auto it = std::lower_bound(
-      sessions.begin(), sessions.end(), t,
-      [](const ScreenSession& s, TimeMs v) { return s.begin < v; });
-  return static_cast<std::size_t>(it - sessions.begin());
+  const std::span<const TimeMs> begins = columns_.sessions.begins();
+  const auto it = std::lower_bound(begins.begin(), begins.end(), t);
+  return static_cast<std::size_t>(it - begins.begin());
 }
 
 TimeMs TraceIndex::next_session_begin(TimeMs t, TimeMs fallback) const {
   const std::size_t idx = first_session_at_or_after(t);
-  return idx < trace_->sessions.size() ? trace_->sessions[idx].begin
-                                       : fallback;
+  return idx < columns_.sessions.size() ? columns_.sessions.begin_at(idx)
+                                        : fallback;
 }
 
 TimeMs TraceIndex::last_session_begin_in(TimeMs lo, TimeMs hi) const {
   std::size_t idx = first_session_at_or_after(hi);
   if (idx == 0) return -1;
-  const TimeMs begin = trace_->sessions[idx - 1].begin;
+  const TimeMs begin = columns_.sessions.begin_at(idx - 1);
   return begin >= lo ? begin : -1;
 }
 
 const TraceIndex::HourBucket& TraceIndex::bucket(int day, int hour) const {
-  NM_REQUIRE(day >= 0 && day < trace_->num_days, "bucket day out of range");
+  NM_REQUIRE(day >= 0 && day < columns_.num_days,
+             "bucket day out of range");
   NM_REQUIRE(hour >= 0 && hour < kHoursPerDay, "bucket hour out of range");
   return buckets_[static_cast<std::size_t>(day) * kHoursPerDay +
                   static_cast<std::size_t>(hour)];
 }
 
 void TraceIndex::check_invariants() const {
-  const UserTrace& trace = *trace_;
+  const UserTrace& source = trace();  // guarded: needs the source alive
+
+  // The arena columns must mirror the source trace exactly.
+  NM_REQUIRE(columns_.sessions.size() == source.sessions.size() &&
+                 columns_.usages.size() == source.usages.size() &&
+                 columns_.activities.size() == source.activities.size() &&
+                 columns_.num_days == source.num_days,
+             "index: column sizes drifted from the source trace");
+  for (std::size_t i = 0; i < columns_.sessions.size(); ++i) {
+    NM_REQUIRE(columns_.sessions[i] == source.sessions[i],
+               "index: session column drifted from the source trace");
+  }
+  for (std::size_t i = 0; i < columns_.activities.size(); ++i) {
+    NM_REQUIRE(columns_.activities[i] == source.activities[i],
+               "index: activity column drifted from the source trace");
+  }
 
   // Sessions sorted, disjoint, non-empty (mirrors UserTrace::validate
   // so a corrupted index is caught even on traces nobody validated).
   TimeMs prev_end = 0;
-  for (const ScreenSession& s : trace.sessions) {
+  for (const ScreenSession s : columns_.sessions) {
     NM_REQUIRE(s.begin < s.end, "index: empty screen session");
     NM_REQUIRE(s.begin >= prev_end, "index: sessions unsorted/overlapping");
     prev_end = s.end;
@@ -103,22 +161,21 @@ void TraceIndex::check_invariants() const {
 
   // Every activity classified exactly once, and exactly as the
   // canonical predicate does on the raw trace.
-  NM_REQUIRE(deferrable_flags_.size() == trace.activities.size(),
+  NM_REQUIRE(deferrable_flags_.size() == source.activities.size(),
              "index: classification size mismatch");
   std::size_t flagged = 0;
-  for (std::size_t i = 0; i < trace.activities.size(); ++i) {
-    const NetworkActivity& act = trace.activities[i];
-    const bool expect =
-        act.deferrable && !trace.screen_on_at(act.start);
-    NM_REQUIRE(deferrable_flags_[i] == expect,
+  for (std::size_t i = 0; i < source.activities.size(); ++i) {
+    const NetworkActivity& act = source.activities[i];
+    const bool expect = act.deferrable && !source.screen_on_at(act.start);
+    NM_REQUIRE(deferrable_flags_.test(i) == expect,
                "index: classification disagrees with the trace");
-    if (deferrable_flags_[i]) ++flagged;
+    if (deferrable_flags_.test(i)) ++flagged;
   }
   NM_REQUIRE(deferrable_.size() == flagged,
              "index: deferrable list size mismatch");
   for (std::size_t k = 0; k < deferrable_.size(); ++k) {
     NM_REQUIRE(deferrable_[k] < deferrable_flags_.size() &&
-                   deferrable_flags_[deferrable_[k]],
+                   deferrable_flags_.test(deferrable_[k]),
                "index: deferrable list references unflagged activity");
     NM_REQUIRE(k == 0 || deferrable_[k - 1] < deferrable_[k],
                "index: deferrable list not strictly ascending");
@@ -137,12 +194,13 @@ void TraceIndex::check_invariants() const {
     net_total += b.net_count;
   }
   int usage_expected = 0;
-  for (const AppUsage& u : trace.usages) {
+  for (const AppUsage& u : source.usages) {
     if (u.time >= 0 && u.time < horizon_) ++usage_expected;
   }
   int net_expected = 0;
-  for (const NetworkActivity& n : trace.activities) {
-    if (n.start >= 0 && n.start < horizon_ && !trace.screen_on_at(n.start)) {
+  for (const NetworkActivity& n : source.activities) {
+    if (n.start >= 0 && n.start < horizon_ &&
+        !source.screen_on_at(n.start)) {
       ++net_expected;
     }
   }

@@ -149,13 +149,16 @@ FleetReport run_grid(const EvalSession& session,
     }
     const obs::SpanScope cell_span("fleet.cell");
     try {
+      // One pin for the whole cell: rehydrates a spilled user at most
+      // once and keeps the traces alive across mine/probe/account.
+      const UserStore::Pin traces = session.traces(u);
       std::unique_ptr<policy::Policy> pol;
       {
         const obs::SpanScope mine_span("fleet.mine");
-        pol = policies[p].make(session.traces(u).training);
+        pol = policies[p].make(traces.training());
       }
       if (policies[p].probe) {
-        cell.probe_value = policies[p].probe(*pol, session.traces(u));
+        cell.probe_value = policies[p].probe(*pol, traces);
       }
       sim::PolicyOutcome outcome;
       {
@@ -163,7 +166,7 @@ FleetReport run_grid(const EvalSession& session,
         outcome = pol->run(session.index(u));
       }
       const obs::SpanScope account_span("fleet.account");
-      cell.report = sim::account(session.traces(u).eval, outcome, radio);
+      cell.report = sim::account(traces.eval(), outcome, radio);
     } catch (const std::exception& e) {
       cell.failed = true;
       cell.error = e.what();

@@ -27,13 +27,16 @@ VolunteerTraces make_traces(const synth::UserProfile& profile,
 EvalSession::EvalSession(const std::vector<synth::UserProfile>& profiles,
                          const ExperimentConfig& config,
                          unsigned max_threads)
-    : config_(config), users_(profiles.size()) {
+    : config_(config),
+      store_(std::make_unique<UserStore>(config.store)),
+      users_(profiles.size()) {
+  store_->resize(profiles.size());
   parallel_for(profiles.size(), [&](std::size_t u) {
     const obs::SpanScope gen_span("fleet.trace_gen");
     users_[u].id = profiles[u].id;
     users_[u].profile_name = profiles[u].name;
     try {
-      users_[u].traces = make_traces(profiles[u], config_);
+      store_->admit(u, make_traces(profiles[u], config_));
     } catch (const std::exception& e) {
       users_[u].prep_error = e.what();
     }
@@ -44,11 +47,18 @@ EvalSession::EvalSession(const std::vector<synth::UserProfile>& profiles,
 EvalSession::EvalSession(std::vector<VolunteerTraces> volunteers,
                          const ExperimentConfig& config,
                          unsigned max_threads)
-    : config_(config), users_(volunteers.size()) {
+    : config_(config),
+      store_(std::make_unique<UserStore>(config.store)),
+      users_(volunteers.size()) {
+  store_->resize(volunteers.size());
   for (std::size_t u = 0; u < users_.size(); ++u) {
     users_[u].id = volunteers[u].eval.user;
     users_[u].profile_name = "volunteer";
-    users_[u].traces = std::move(volunteers[u]);
+    try {
+      store_->admit(u, std::move(volunteers[u]));
+    } catch (const std::exception& e) {
+      users_[u].prep_error = e.what();
+    }
   }
   prepare(max_threads);
 }
@@ -60,12 +70,19 @@ void EvalSession::prepare(unsigned max_threads) {
     if (!state.prep_error.empty()) return;
     const obs::SpanScope span("fleet.prepare");
     try {
-      state.traces.eval.validate();
-      state.index = std::make_unique<engine::TraceIndex>(state.traces.eval);
+      // Pin the traces for the whole preparation: the index copies the
+      // eval trace into the per-user arena and is self-contained from
+      // then on; the pin's lifetime guards index.trace() so a later
+      // eviction is caught instead of dereferenced.
+      const UserStore::Pin pin = store_->pin(u);
+      pin.eval().validate();
+      state.arena = std::make_unique<mem::Arena>();
+      state.index = std::make_unique<engine::TraceIndex>(
+          pin.eval(), *state.arena, pin.lifetime());
       const policy::BaselinePolicy base;
       const obs::SpanScope account_span("fleet.account");
       state.baseline =
-          sim::account(state.traces.eval, base.run(*state.index), radio);
+          sim::account(pin.eval(), base.run(*state.index), radio);
     } catch (const std::exception& e) {
       state.prep_error = e.what();
     }
@@ -92,6 +109,14 @@ const sim::SimReport& EvalSession::baseline(std::size_t u) const {
   NM_REQUIRE(state.prep_error.empty(),
              "EvalSession::baseline on a failed user — check ok(u) first");
   return state.baseline;
+}
+
+std::size_t EvalSession::arena_bytes() const {
+  std::size_t total = 0;
+  for (const UserState& state : users_) {
+    if (state.arena) total += state.arena->bytes_reserved();
+  }
+  return total;
 }
 
 const EvalSession::UserState& EvalSession::user(std::size_t u) const {

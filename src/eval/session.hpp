@@ -1,9 +1,18 @@
 // EvalSession — the cached per-user state every §VI experiment replays
-// against: the train/eval trace split, the engine::TraceIndex over the
-// evaluation trace, and the baseline reference SimReport. Built once
-// (in parallel), immutable afterwards, and shared by reference across
-// every sweep point and policy cell, so a 12-point sweep pays trace
-// synthesis and indexing exactly once instead of 12 times.
+// against: the train/eval trace split (held in a UserStore, possibly
+// spilled to disk), the engine::TraceIndex over the evaluation trace
+// (arena-backed, self-contained), and the baseline reference SimReport.
+// Built once (in parallel), immutable afterwards, and shared by
+// reference across every sweep point and policy cell, so a 12-point
+// sweep pays trace synthesis and indexing exactly once instead of 12
+// times.
+//
+// Memory model (ROADMAP item 2): each user's replay working set lives
+// in one mem::Arena owned by the session; the AoS traces live in the
+// UserStore, which — when a cache cap is configured — keeps only the
+// hot users hydrated and rehydrates the rest from compact UserBlob
+// spill files on demand. Serialization is lossless, so fleet results
+// are bit-for-bit identical whatever the cap.
 //
 // Per-user preparation failures (a poisoned trace, a baseline that
 // cannot replay) are captured in the session instead of thrown: the
@@ -17,6 +26,7 @@
 #include <vector>
 
 #include "engine/trace_index.hpp"
+#include "eval/user_store.hpp"
 #include "policy/netmaster.hpp"
 #include "sim/accounting.hpp"
 #include "synth/profiles.hpp"
@@ -33,12 +43,8 @@ struct ExperimentConfig {
   int eval_days = 7;
   std::uint64_t seed = 42;
   policy::NetMasterConfig netmaster;
-};
-
-/// Train/eval split of one synthetic volunteer.
-struct VolunteerTraces {
-  UserTrace training;
-  UserTrace eval;
+  /// Trace cache knobs; the default (cap 0) keeps every user resident.
+  UserStoreConfig store;
 };
 
 /// Generates and splits the traces for one profile.
@@ -46,8 +52,8 @@ VolunteerTraces make_traces(const synth::UserProfile& profile,
                             const ExperimentConfig& config);
 
 /// Immutable per-user evaluation state shared across sweep points and
-/// policy cells. Movable, non-copyable (it owns one TraceIndex per
-/// user).
+/// policy cells. Movable, non-copyable (it owns one TraceIndex and one
+/// arena per user, plus the trace store).
 class EvalSession {
  public:
   /// Synthesizes, splits, indexes and baseline-accounts every profile
@@ -81,19 +87,25 @@ class EvalSession {
   const std::string& profile_name(std::size_t u) const {
     return user(u).profile_name;
   }
-  const VolunteerTraces& traces(std::size_t u) const {
-    return user(u).traces;
-  }
+  /// Hydrated train/eval traces for user u. Returns a Pin: rehydrates
+  /// from the spill file when the user is cold and keeps the traces
+  /// alive while held. Pin once per cell, not per field access.
+  UserStore::Pin traces(std::size_t u) const { return store_->pin(u); }
   /// The shared evaluation-trace index / baseline reference report.
   /// Contract: only valid when `ok(u)`.
   const engine::TraceIndex& index(std::size_t u) const;
   const sim::SimReport& baseline(std::size_t u) const;
 
+  /// The trace cache (resident bytes, eviction counts — bench fodder).
+  const UserStore& store() const { return *store_; }
+  /// Total bytes reserved by the per-user replay arenas.
+  std::size_t arena_bytes() const;
+
  private:
   struct UserState {
     UserId id = 0;
     std::string profile_name;
-    VolunteerTraces traces;
+    std::unique_ptr<mem::Arena> arena;  ///< backs the index columns
     std::unique_ptr<engine::TraceIndex> index;
     sim::SimReport baseline;
     std::string prep_error;  ///< empty = usable
@@ -104,6 +116,7 @@ class EvalSession {
   void prepare(unsigned max_threads);
 
   ExperimentConfig config_;
+  std::unique_ptr<UserStore> store_;
   std::vector<UserState> users_;
 };
 

@@ -1,0 +1,136 @@
+// UserStore — the fleet's bounded trace cache (ROADMAP item 2).
+//
+// A million-user fleet cannot keep every volunteer's AoS traces
+// resident: the traces dominate the per-user footprint once the replay
+// index is arena-backed. The store owns every user's train/eval trace
+// pair and keeps at most `cache_cap_bytes` of them hydrated; the rest
+// live as compact UserBlob files in a spill directory and are
+// rehydrated on demand. Serialization is lossless (all-integer
+// columns, CRC-guarded), so results are bit-for-bit identical no
+// matter which users happen to be resident when.
+//
+// Concurrency: admit() and pin() are thread-safe. A Pin holds a
+// shared_ptr to the hydration, so a concurrent eviction never frees
+// memory out from under a reader — eviction just drops the store's
+// strong reference (and retires the hydration's mem::Lifetime, which
+// flips any TraceIndex handle built on it to "source gone").
+//
+// With cache_cap_bytes == 0 (the default) the store is a plain
+// in-memory table: nothing is written to disk and nothing is ever
+// evicted, preserving the classic all-resident behaviour.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mem/arena.hpp"
+#include "trace/trace.hpp"
+
+namespace netmaster::eval {
+
+/// Train/eval split of one synthetic volunteer.
+struct VolunteerTraces {
+  UserTrace training;
+  UserTrace eval;
+};
+
+struct UserStoreConfig {
+  /// Target resident-set size for hydrated traces. 0 disables spilling
+  /// entirely (everything stays in memory, nothing touches disk). The
+  /// cap is honoured modulo pinned users: a Pin keeps its hydration
+  /// alive regardless.
+  std::size_t cache_cap_bytes = 0;
+  /// Where blobs go. Empty = a unique directory under the system temp
+  /// dir, created lazily and removed by the destructor.
+  std::string spill_dir;
+};
+
+class UserStore {
+ public:
+  explicit UserStore(UserStoreConfig config = {});
+  ~UserStore();
+  UserStore(const UserStore&) = delete;
+  UserStore& operator=(const UserStore&) = delete;
+
+  /// Shared-ownership view of one user's hydrated traces. Holding the
+  /// Pin keeps the hydration alive across evictions.
+  class Pin {
+   public:
+    Pin() = default;
+
+    const VolunteerTraces& get() const { return hydration_->traces; }
+    operator const VolunteerTraces&() const { return get(); }
+    const UserTrace& training() const { return get().training; }
+    const UserTrace& eval() const { return get().eval; }
+
+    /// Lifetime of THIS hydration: retired when the store evicts it
+    /// (a later pin() rehydrates into a fresh hydration with a fresh
+    /// lifetime). Feed it to TraceIndex so a dangling source is caught.
+    mem::LifetimeHandle lifetime() const {
+      return hydration_->lifetime.handle();
+    }
+
+   private:
+    friend class UserStore;
+    struct Hydration {
+      VolunteerTraces traces;
+      mem::Lifetime lifetime;
+    };
+    explicit Pin(std::shared_ptr<const Hydration> h)
+        : hydration_(std::move(h)) {}
+    std::shared_ptr<const Hydration> hydration_;
+  };
+
+  /// Grows the table to `n` slots (slot == EvalSession user index).
+  void resize(std::size_t n);
+
+  /// Installs slot `slot`'s traces. With spilling enabled the blob is
+  /// written immediately (evictions later are a pure drop), then the
+  /// cache is trimmed back under the cap. Thread-safe across distinct
+  /// slots; admitting the same slot twice is an error.
+  void admit(std::size_t slot, VolunteerTraces traces);
+
+  /// Hydrated traces for `slot`, rehydrating from the spill file when
+  /// the user is cold. Touches the LRU clock and trims the cache.
+  Pin pin(std::size_t slot) const;
+
+  std::size_t size() const;
+  /// Estimated heap bytes of the currently hydrated traces.
+  std::size_t resident_bytes() const;
+  std::size_t resident_count() const;
+  std::uint64_t evictions() const;
+  bool spill_enabled() const { return config_.cache_cap_bytes > 0; }
+  /// Empty until the first spill write when auto-created.
+  std::filesystem::path spill_dir() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<Pin::Hydration> resident;
+    std::filesystem::path blob;  ///< empty = never spilled
+    std::size_t bytes = 0;       ///< footprint estimate of the pair
+    std::uint64_t last_touch = 0;
+  };
+
+  /// Requires mutex_ held. Drops least-recently-used hydrations (never
+  /// slot `protect`) until the resident set fits the cap.
+  void evict_over_cap(std::size_t protect) const;
+  std::filesystem::path blob_path(std::size_t slot) const;
+  /// Requires mutex_ held; creates the auto spill dir on first use.
+  void ensure_spill_dir() const;
+
+  UserStoreConfig config_;
+  mutable std::mutex mutex_;
+  mutable std::vector<Entry> entries_;
+  mutable std::filesystem::path spill_dir_;  ///< resolved on first write
+  mutable bool owns_spill_dir_ = false;
+  mutable std::uint64_t clock_ = 0;
+  mutable std::size_t resident_bytes_ = 0;
+  mutable std::uint64_t evictions_ = 0;
+};
+
+}  // namespace netmaster::eval

@@ -1,0 +1,119 @@
+#include "mem/soa.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace netmaster::mem {
+
+SessionColumns SessionColumns::build(
+    std::span<const ScreenSession> sessions, Arena& arena) {
+  const std::size_t n = sessions.size();
+  std::span<TimeMs> begins = arena.alloc_array<TimeMs>(n);
+  std::span<TimeMs> ends = arena.alloc_array<TimeMs>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    begins[i] = sessions[i].begin;
+    ends[i] = sessions[i].end;
+  }
+  SessionColumns out;
+  out.begins_ = begins;
+  out.ends_ = ends;
+  return out;
+}
+
+UsageColumns UsageColumns::build(std::span<const AppUsage> usages,
+                                 Arena& arena) {
+  const std::size_t n = usages.size();
+  std::span<AppId> apps = arena.alloc_array<AppId>(n);
+  std::span<TimeMs> times = arena.alloc_array<TimeMs>(n);
+  std::span<DurationMs> durations = arena.alloc_array<DurationMs>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    apps[i] = usages[i].app;
+    times[i] = usages[i].time;
+    durations[i] = usages[i].duration;
+  }
+  UsageColumns out;
+  out.apps_ = apps;
+  out.times_ = times;
+  out.durations_ = durations;
+  return out;
+}
+
+ActivityColumns ActivityColumns::build(
+    std::span<const NetworkActivity> activities, Arena& arena) {
+  const std::size_t n = activities.size();
+  std::span<AppId> apps = arena.alloc_array<AppId>(n);
+  std::span<TimeMs> starts = arena.alloc_array<TimeMs>(n);
+  std::span<DurationMs> durations = arena.alloc_array<DurationMs>(n);
+  std::span<std::int64_t> down = arena.alloc_array<std::int64_t>(n);
+  std::span<std::int64_t> up = arena.alloc_array<std::int64_t>(n);
+  auto [user_init, user_init_words] = BitSpan::build(n, arena);
+  auto [deferrable, deferrable_words] = BitSpan::build(n, arena);
+  for (std::size_t i = 0; i < n; ++i) {
+    const NetworkActivity& a = activities[i];
+    apps[i] = a.app;
+    starts[i] = a.start;
+    durations[i] = a.duration;
+    down[i] = a.bytes_down;
+    up[i] = a.bytes_up;
+    if (a.user_initiated) BitSpan::set(user_init_words, i);
+    if (a.deferrable) BitSpan::set(deferrable_words, i);
+  }
+  ActivityColumns out;
+  out.apps_ = apps;
+  out.starts_ = starts;
+  out.durations_ = durations;
+  out.bytes_down_ = down;
+  out.bytes_up_ = up;
+  out.user_initiated_ = user_init;
+  out.deferrable_ = deferrable;
+  return out;
+}
+
+AppNameTable AppNameTable::build(std::span<const std::string> names,
+                                 Arena& arena) {
+  const std::size_t n = names.size();
+  std::span<std::uint32_t> offsets = arena.alloc_array<std::uint32_t>(n + 1);
+  std::size_t total = 0;
+  for (const std::string& name : names) total += name.size();
+  NM_REQUIRE(total <= UINT32_MAX, "app name table exceeds 4 GiB");
+  std::span<char> chars = arena.alloc_array<char>(total);
+  std::size_t at = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    offsets[i] = static_cast<std::uint32_t>(at);
+    for (const char c : names[i]) chars[at++] = c;
+  }
+  offsets[n] = static_cast<std::uint32_t>(at);
+  AppNameTable out;
+  out.offsets_ = offsets;
+  out.chars_ = chars;
+  out.size_ = n;
+  return out;
+}
+
+TraceColumns TraceColumns::build(const UserTrace& trace, Arena& arena) {
+  TraceColumns out;
+  out.user = trace.user;
+  out.num_days = trace.num_days;
+  out.app_names = AppNameTable::build(trace.app_names, arena);
+  out.sessions = SessionColumns::build(trace.sessions, arena);
+  out.usages = UsageColumns::build(trace.usages, arena);
+  out.activities = ActivityColumns::build(trace.activities, arena);
+  return out;
+}
+
+UserTrace TraceColumns::materialize() const {
+  UserTrace trace;
+  trace.user = user;
+  trace.num_days = num_days;
+  trace.app_names.reserve(app_names.size());
+  for (std::size_t i = 0; i < app_names.size(); ++i) {
+    trace.app_names.emplace_back(app_names.name(i));
+  }
+  trace.sessions.assign(sessions.begin(), sessions.end());
+  trace.usages.assign(usages.begin(), usages.end());
+  trace.activities.assign(activities.begin(), activities.end());
+  return trace;
+}
+
+}  // namespace netmaster::mem

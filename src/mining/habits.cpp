@@ -16,15 +16,14 @@ HabitModel HabitModel::mine(const UserTrace& history) {
 }
 
 HabitModel HabitModel::mine(const engine::TraceIndex& history) {
-  const UserTrace& trace = history.trace();
   HabitModel model;
 
   // The index's per-(day, hour) buckets hold exactly the occupancy
   // flags and accumulators Eqs. 2–3 need; fold them into the two day
   // regimes. Eq. 3 counts (app, day) pairs: the bucket's distinct-app
   // count over the denominator m*k honours that.
-  const int days = trace.num_days;
-  const std::size_t num_apps = trace.app_names.size();
+  const int days = history.num_days();
+  const std::size_t num_apps = history.num_apps();
   for (int d = 0; d < days; ++d) {
     auto& s = model.stats_[static_cast<std::size_t>(day_kind(d))];
     ++s.days_observed;

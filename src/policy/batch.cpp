@@ -18,8 +18,8 @@ sim::PolicyOutcome BatchPolicy::run(const engine::TraceIndex& eval) const {
   sim::PolicyOutcome outcome;
   outcome.policy_name = name();
   const TimeMs horizon = eval.horizon();
-  const std::vector<NetworkActivity>& activities = eval.activities();
-  const std::vector<ScreenSession>& sessions = eval.sessions();
+  const mem::ActivityColumns& activities = eval.activities();
+  const mem::SessionColumns& sessions = eval.sessions();
 
   struct Pending {
     std::size_t index;
@@ -49,7 +49,7 @@ sim::PolicyOutcome BatchPolicy::run(const engine::TraceIndex& eval) const {
   auto session = sessions.begin();
 
   for (std::size_t i = 0; i < activities.size(); ++i) {
-    const NetworkActivity& act = activities[i];
+    const NetworkActivity act = activities[i];
     // Flush at any screen-on edge preceding this activity.
     while (session != sessions.end() && session->begin <= act.start) {
       flush(session->begin);

@@ -21,10 +21,10 @@ sim::PolicyOutcome DelayPolicy::run(const engine::TraceIndex& eval) const {
   sim::PolicyOutcome outcome;
   outcome.policy_name = name();
   const TimeMs horizon = eval.horizon();
-  const std::vector<NetworkActivity>& activities = eval.activities();
+  const mem::ActivityColumns& activities = eval.activities();
 
   for (std::size_t i = 0; i < activities.size(); ++i) {
-    const NetworkActivity& act = activities[i];
+    const NetworkActivity act = activities[i];
     if (!eval.is_deferrable_screen_off(i)) {
       outcome.transfers.push_back({i, act.start, act.duration});
       continue;

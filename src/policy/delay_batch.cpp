@@ -24,8 +24,8 @@ sim::PolicyOutcome DelayBatchPolicy::run(
   sim::PolicyOutcome outcome;
   outcome.policy_name = name();
   const TimeMs horizon = eval.horizon();
-  const std::vector<NetworkActivity>& activities = eval.activities();
-  const std::vector<ScreenSession>& sessions = eval.sessions();
+  const mem::ActivityColumns& activities = eval.activities();
+  const mem::SessionColumns& sessions = eval.sessions();
 
   struct Pending {
     std::size_t index;
@@ -55,7 +55,7 @@ sim::PolicyOutcome DelayBatchPolicy::run(
 
   auto session = sessions.begin();
   for (std::size_t i = 0; i < activities.size(); ++i) {
-    const NetworkActivity& act = activities[i];
+    const NetworkActivity act = activities[i];
     // Fire any timer/screen trigger preceding this activity.
     while (!queue.empty()) {
       const TimeMs timer = deadline();

@@ -113,8 +113,8 @@ sim::PolicyOutcome NetMasterPolicy::run(
   sim::PolicyOutcome outcome;
   outcome.policy_name = name();
   const TimeMs horizon = eval.horizon();
-  const std::vector<ScreenSession>& sessions = eval.sessions();
-  const std::vector<NetworkActivity>& activities = eval.activities();
+  const mem::SessionColumns& sessions = eval.sessions();
+  const mem::ActivityColumns& activities = eval.activities();
   const std::size_t num_sessions = sessions.size();
 
   // NetMaster drives the data switch ("turns off radio whenever
@@ -129,7 +129,7 @@ sim::PolicyOutcome NetMasterPolicy::run(
   // ---- Prediction: the user-active slot set U over the horizon. ----
   IntervalSet active;
   if (config_.enable_prediction) {
-    for (int day = 0; day < eval.trace().num_days; ++day) {
+    for (int day = 0; day < eval.num_days(); ++day) {
       active.add(predictor_.predict_day(day).active_slots);
     }
   }
@@ -142,7 +142,7 @@ sim::PolicyOutcome NetMasterPolicy::run(
   std::vector<NetworkActivity> pending;     // outside U: knapsack path
   std::vector<std::size_t> pending_index;   // -> eval activity index
   for (std::size_t i = 0; i < activities.size(); ++i) {
-    const NetworkActivity& act = activities[i];
+    const NetworkActivity act = activities[i];
     const bool in_slot = active.contains(act.start);
     if (eval.is_deferrable_screen_off(i)) {
       if (!in_slot) {
@@ -236,8 +236,8 @@ sim::PolicyOutcome NetMasterPolicy::run(
     // any session, even one before the slot). If no session shows up by
     // the slot's end, run at the planned slot begin.
     const std::size_t sess = eval.first_session_at_or_after(act.start);
-    if (sess < num_sessions && sessions[sess].begin <= slot.end) {
-      release = sessions[sess].begin;
+    if (sess < num_sessions && sessions.begin_at(sess) <= slot.end) {
+      release = sessions.begin_at(sess);
     } else {
       release = slot.begin;
     }
@@ -298,8 +298,8 @@ sim::PolicyOutcome NetMasterPolicy::run(
     while (true) {
       const TimeMs wake = cycler.next_wake();
       const TimeMs sess_begin =
-          (sess < num_sessions && sessions[sess].begin < window.end)
-              ? sessions[sess].begin
+          (sess < num_sessions && sessions.begin_at(sess) < window.end)
+              ? sessions.begin_at(sess)
               : window.end;
       if (sess_begin <= wake) {
         if (sess_begin >= window.end) break;
@@ -311,7 +311,7 @@ sim::PolicyOutcome NetMasterPolicy::run(
                            sess_begin, horizon);
           ++next_fb;
         }
-        cycler.notify_activity(sessions[sess].end);
+        cycler.notify_activity(sessions.end_at(sess));
         ++sess;
         continue;
       }

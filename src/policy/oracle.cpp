@@ -15,19 +15,19 @@ sim::PolicyOutcome OraclePolicy::run(const engine::TraceIndex& eval) const {
   sim::PolicyOutcome outcome;
   outcome.policy_name = name();
   const TimeMs horizon = eval.horizon();
-  const std::vector<ScreenSession>& sessions = eval.sessions();
-  const std::vector<NetworkActivity>& activities = eval.activities();
+  const mem::SessionColumns& sessions = eval.sessions();
+  const mem::ActivityColumns& activities = eval.activities();
 
   // Per-session residual capacity (Eq. 5 over the real sessions).
   std::vector<std::int64_t> residual;
   residual.reserve(sessions.size());
-  for (const ScreenSession& s : sessions) {
+  for (const ScreenSession s : sessions) {
     residual.push_back(
         sched::slot_capacity_bytes(s.interval(), profit_));
   }
 
   for (std::size_t i = 0; i < activities.size(); ++i) {
-    const NetworkActivity& act = activities[i];
+    const NetworkActivity act = activities[i];
     if (!eval.is_deferrable_screen_off(i) || sessions.empty()) {
       outcome.transfers.push_back({i, act.start, act.duration});
       continue;
@@ -44,7 +44,7 @@ sim::PolicyOutcome OraclePolicy::run(const engine::TraceIndex& eval) const {
     std::ptrdiff_t target = -1;
     const std::int64_t bytes = act.total_bytes();
     auto distance = [&](std::ptrdiff_t idx) -> TimeMs {
-      const ScreenSession& s = sessions[static_cast<std::size_t>(idx)];
+      const ScreenSession s = sessions[static_cast<std::size_t>(idx)];
       return idx == prev_idx ? act.start - s.end : s.begin - act.start;
     };
     for (std::ptrdiff_t idx : {prev_idx, next_idx}) {
@@ -60,7 +60,7 @@ sim::PolicyOutcome OraclePolicy::run(const engine::TraceIndex& eval) const {
       continue;
     }
 
-    const ScreenSession& s = sessions[static_cast<std::size_t>(target)];
+    const ScreenSession s = sessions[static_cast<std::size_t>(target)];
     residual[static_cast<std::size_t>(target)] -= bytes;
     // Place inside the session (at DCH speed): deferred activities at
     // the session start, prefetched ones ending at the session end.

@@ -102,6 +102,10 @@ UserTrace read_trace(std::istream& is) {
 
   while (std::getline(is, line)) {
     ++lineno;
+    // CRLF tolerance: traces recorded on-device are routinely shipped
+    // through Windows tooling; strip the carriage return rather than
+    // baking it into the last field of every record.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line.front() == '#') continue;
     const auto fields = split_csv(line);
     const std::string_view kind = fields.front();

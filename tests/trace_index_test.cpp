@@ -104,7 +104,8 @@ TEST(TraceIndex, ClassifiesEveryActivityExactlyOnce) {
     if (index.is_deferrable_screen_off(i)) ++deferrable_count;
   }
   // The ascending list is exactly the set of flagged indices.
-  const std::vector<std::size_t>& listed = index.deferrable_screen_off();
+  const std::span<const std::uint32_t> listed =
+      index.deferrable_screen_off();
   ASSERT_EQ(listed.size(), deferrable_count);
   for (std::size_t k = 0; k < listed.size(); ++k) {
     EXPECT_TRUE(index.is_deferrable_screen_off(listed[k]));
@@ -114,7 +115,8 @@ TEST(TraceIndex, ClassifiesEveryActivityExactlyOnce) {
   }
   // Expected classification: 0, 3, 5 deferrable screen-off; 1 arrives at
   // a session begin (screen on), 2 is foreground, 4 is inside a session.
-  EXPECT_EQ(listed, (std::vector<std::size_t>{0, 3, 5}));
+  EXPECT_EQ(std::vector<std::uint32_t>(listed.begin(), listed.end()),
+            (std::vector<std::uint32_t>{0, 3, 5}));
 }
 
 TEST(TraceIndex, HourBucketsMatchManualRecount) {
@@ -203,6 +205,43 @@ TEST(TraceIndex, PolicyOutcomesBitIdenticalViaSharedIndex) {
     EXPECT_EQ(online_trace.radio_switches, online_index.radio_switches);
     expect_outcome_eq(online_trace.outcome, online_index.outcome);
   }
+}
+
+TEST(TraceIndex, RetiredSourceLifetimeIsCaught) {
+  // Regression: the index used to borrow the trace by raw reference,
+  // so a moved-from or evicted source was silently read after free.
+  // The generation handle turns that into a thrown Error while the
+  // arena-backed columns keep replaying.
+  const UserTrace t = fixture();
+  mem::Arena arena;
+  mem::Lifetime owner;
+  TraceIndex index(t, arena, owner.handle());
+  EXPECT_TRUE(index.source_alive());
+  EXPECT_EQ(&index.trace(), &t);
+  index.check_invariants();
+
+  owner.retire();  // the owner evicted / moved the trace out
+  EXPECT_FALSE(index.source_alive());
+  EXPECT_THROW(index.trace(), Error);
+  EXPECT_THROW(index.check_invariants(), Error);
+
+  // The self-contained replay path is untouched.
+  EXPECT_EQ(index.sessions().size(), t.sessions.size());
+  EXPECT_EQ(index.activities().size(), t.activities.size());
+  EXPECT_TRUE(index.screen_on_at(seconds(110)));
+  EXPECT_EQ(index.deferrable_screen_off().size(), 3u);
+  EXPECT_EQ(index.num_days(), t.num_days);
+}
+
+TEST(TraceIndex, MovedFromOwnerLifetimeIsCaught) {
+  const UserTrace t = fixture();
+  mem::Arena arena;
+  auto owner = std::make_unique<mem::Lifetime>();
+  const TraceIndex index(t, arena, owner->handle());
+  EXPECT_TRUE(index.source_alive());
+  owner.reset();  // destruction retires, like a store slot being freed
+  EXPECT_FALSE(index.source_alive());
+  EXPECT_THROW(index.trace(), Error);
 }
 
 TEST(TraceIndex, BucketAccessorRejectsOutOfRange) {

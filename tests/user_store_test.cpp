@@ -1,0 +1,209 @@
+// Tests for eval::UserStore and the spill-to-disk fleet path: LRU
+// eviction under a byte cap, lossless rehydration, Pin safety across
+// evictions, the generation-handle regression (an evicted user's
+// TraceIndex::trace() throws instead of dereferencing freed memory),
+// and bit-for-bit fleet determinism with and without spilling.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "common/error.hpp"
+#include "eval/fleet.hpp"
+#include "eval/session.hpp"
+#include "eval/user_store.hpp"
+#include "mem/blob.hpp"
+#include "synth/presets.hpp"
+
+namespace netmaster::eval {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig config;
+  config.train_days = 7;
+  config.eval_days = 7;
+  config.seed = 7;
+  return config;
+}
+
+std::vector<synth::UserProfile> small_fleet(std::size_t n) {
+  std::vector<synth::UserProfile> profiles;
+  for (std::size_t i = 0; i < n; ++i) {
+    profiles.push_back(synth::make_user(
+        static_cast<synth::Archetype>(i % 3), static_cast<UserId>(i + 1)));
+  }
+  return profiles;
+}
+
+TEST(UserStore, DefaultConfigKeepsEverythingResident) {
+  UserStore store;  // cap 0: no spilling, no disk
+  store.resize(2);
+  VolunteerTraces traces = make_traces(small_fleet(1)[0], small_config());
+  const UserTrace eval_copy = traces.eval;
+  store.admit(0, std::move(traces));
+  store.admit(1, make_traces(small_fleet(2)[1], small_config()));
+
+  EXPECT_FALSE(store.spill_enabled());
+  EXPECT_TRUE(store.spill_dir().empty());
+  EXPECT_EQ(store.resident_count(), 2u);
+  EXPECT_EQ(store.evictions(), 0u);
+  const UserStore::Pin pin = store.pin(0);
+  EXPECT_EQ(pin.eval().activities, eval_copy.activities);
+  EXPECT_TRUE(pin.lifetime().alive());
+}
+
+TEST(UserStore, EvictsUnderCapAndRehydratesLosslessly) {
+  UserStoreConfig config;
+  config.cache_cap_bytes = 1;  // evict everything evictable
+  UserStore store(config);
+  const std::vector<synth::UserProfile> profiles = small_fleet(3);
+  store.resize(3);
+  std::vector<VolunteerTraces> originals;
+  for (std::size_t u = 0; u < 3; ++u) {
+    originals.push_back(make_traces(profiles[u], small_config()));
+    store.admit(u, originals[u]);
+  }
+  EXPECT_GT(store.evictions(), 0u);
+  EXPECT_LE(store.resident_count(), 1u);
+  EXPECT_FALSE(store.spill_dir().empty());
+
+  // Rehydration returns bit-identical traces, any number of times, in
+  // any order.
+  for (const std::size_t u : {2u, 0u, 1u, 0u}) {
+    const UserStore::Pin pin = store.pin(u);
+    EXPECT_EQ(pin.training().activities, originals[u].training.activities);
+    EXPECT_EQ(pin.training().sessions, originals[u].training.sessions);
+    EXPECT_EQ(pin.eval().activities, originals[u].eval.activities);
+    EXPECT_EQ(pin.eval().usages, originals[u].eval.usages);
+    EXPECT_EQ(pin.eval().app_names, originals[u].eval.app_names);
+  }
+}
+
+TEST(UserStore, PinKeepsAnEvictedHydrationAlive) {
+  UserStoreConfig config;
+  config.cache_cap_bytes = 1;
+  UserStore store(config);
+  store.resize(2);
+  const std::vector<synth::UserProfile> profiles = small_fleet(2);
+  const VolunteerTraces original = make_traces(profiles[0], small_config());
+  store.admit(0, original);
+
+  const UserStore::Pin pin = store.pin(0);
+  EXPECT_TRUE(pin.lifetime().alive());
+  store.admit(1, make_traces(profiles[1], small_config()));
+  store.pin(1);  // touches 1; 0 becomes the LRU victim
+
+  // Slot 0's hydration was evicted: its lifetime is retired, but the
+  // pin still holds the bytes — reading through it stays valid.
+  EXPECT_FALSE(pin.lifetime().alive());
+  EXPECT_EQ(pin.eval().activities, original.eval.activities);
+
+  // A fresh pin rehydrates into a fresh, live hydration.
+  const UserStore::Pin again = store.pin(0);
+  EXPECT_TRUE(again.lifetime().alive());
+  EXPECT_EQ(again.eval().activities, original.eval.activities);
+}
+
+TEST(UserStore, RespectsCallerSpillDirectory) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "nm_store_test_dir";
+  std::filesystem::remove_all(dir);
+  {
+    UserStoreConfig config;
+    config.cache_cap_bytes = 1;
+    config.spill_dir = dir.string();
+    UserStore store(config);
+    store.resize(1);
+    store.admit(0, make_traces(small_fleet(1)[0], small_config()));
+    EXPECT_EQ(store.spill_dir(), dir);
+    EXPECT_FALSE(std::filesystem::is_empty(dir));
+  }
+  // The store removes its blobs but leaves the caller's directory.
+  EXPECT_TRUE(std::filesystem::exists(dir));
+  EXPECT_TRUE(std::filesystem::is_empty(dir));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SpillFleet, EvictedIndexTraceAccessIsCaught) {
+  // Regression for the dangling-reference hazard: TraceIndex used to
+  // borrow the eval trace by raw reference, so an evicted (or
+  // moved-from) trace was silently read after free. Now the handle
+  // flips and trace() throws, while the columnar replay path stays
+  // valid.
+  ExperimentConfig config = small_config();
+  config.store.cache_cap_bytes = 1;
+  const EvalSession session(small_fleet(4), config);
+  ASSERT_EQ(session.num_ok(), 4u);
+  EXPECT_GT(session.store().evictions(), 0u);
+
+  std::size_t evicted = 0;
+  for (std::size_t u = 0; u < session.num_users(); ++u) {
+    const engine::TraceIndex& index = session.index(u);
+    if (index.source_alive()) continue;
+    ++evicted;
+    EXPECT_THROW(index.trace(), Error);
+    // Self-contained columns keep replaying.
+    EXPECT_GT(index.sessions().size(), 0u);
+    EXPECT_EQ(index.activities().size(),
+              session.traces(u).eval().activities.size());
+  }
+  EXPECT_GT(evicted, 0u);
+}
+
+TEST(SpillFleet, ResultsBitIdenticalWithAndWithoutSpill) {
+  const std::vector<synth::UserProfile> profiles = small_fleet(5);
+  const std::vector<PolicySpec> suite =
+      standard_policy_suite(small_config().netmaster);
+
+  ExperimentConfig resident_config = small_config();
+  const EvalSession resident(profiles, resident_config);
+  const FleetReport baseline = run_fleet(resident, suite);
+
+  ExperimentConfig spill_config = small_config();
+  spill_config.store.cache_cap_bytes = 4096;  // far below the fleet
+  const EvalSession spilled(profiles, spill_config);
+
+  // The whole point of the cap: the fleet's aggregate trace footprint
+  // exceeds it, so the run must lean on eviction + rehydration.
+  std::size_t aggregate = 0;
+  for (std::size_t u = 0; u < spilled.num_users(); ++u) {
+    const UserStore::Pin pin = spilled.traces(u);
+    aggregate += mem::trace_footprint_bytes(pin.training()) +
+                 mem::trace_footprint_bytes(pin.eval());
+  }
+  EXPECT_GT(aggregate, spill_config.store.cache_cap_bytes);
+
+  const FleetReport report = run_fleet(spilled, suite);
+  EXPECT_GT(spilled.store().evictions(), 0u);
+
+  ASSERT_EQ(report.cells.size(), baseline.cells.size());
+  for (std::size_t c = 0; c < report.cells.size(); ++c) {
+    const FleetCell& a = baseline.cells[c];
+    const FleetCell& b = report.cells[c];
+    EXPECT_EQ(a.failed, b.failed) << "cell " << c;
+    EXPECT_EQ(a.policy, b.policy);
+    // Bit-for-bit: same transfers, same accounting, same doubles.
+    EXPECT_EQ(a.report.energy_j, b.report.energy_j) << "cell " << c;
+    EXPECT_EQ(a.report.radio_on_ms, b.report.radio_on_ms) << "cell " << c;
+    EXPECT_EQ(a.energy_saving, b.energy_saving) << "cell " << c;
+    EXPECT_EQ(a.radio_on_fraction, b.radio_on_fraction) << "cell " << c;
+  }
+}
+
+TEST(SpillFleet, VolunteerSessionsSpillToo) {
+  const std::vector<synth::UserProfile> profiles = small_fleet(3);
+  std::vector<VolunteerTraces> volunteers;
+  for (const synth::UserProfile& profile : profiles) {
+    volunteers.push_back(make_traces(profile, small_config()));
+  }
+  ExperimentConfig config = small_config();
+  config.store.cache_cap_bytes = 1;
+  const EvalSession session(volunteers, config);
+  EXPECT_EQ(session.num_ok(), 3u);
+  const FleetReport report =
+      run_fleet(session, standard_policy_suite(config.netmaster));
+  EXPECT_TRUE(report.failures.empty());
+}
+
+}  // namespace
+}  // namespace netmaster::eval
