@@ -24,6 +24,27 @@ VolunteerTraces make_traces(const synth::UserProfile& profile,
           full.slice_days(config.train_days, config.eval_days)};
 }
 
+VolunteerTraces make_drifting_traces(const synth::UserProfile& profile,
+                                     const ExperimentConfig& config,
+                                     const synth::DriftSpec& spec) {
+  NM_REQUIRE(config.train_days > 0 && config.eval_days > 0,
+             "train/eval day counts must be positive");
+  NM_REQUIRE(config.train_days % 7 == 0,
+             "train_days must be whole weeks to keep the weekday/weekend "
+             "regimes aligned between training and evaluation");
+  // The spec's onset is eval-relative; generation runs in absolute
+  // days over the whole train+eval horizon.
+  synth::DriftSpec absolute = spec;
+  absolute.onset_day = spec.onset_day + config.train_days;
+  NM_REQUIRE(absolute.onset_day >= 0,
+             "drift onset must not precede the generated horizon");
+  const int total = config.train_days + config.eval_days;
+  const UserTrace full =
+      synth::generate_drifting_trace(profile, absolute, total, config.seed);
+  return {full.slice_days(0, config.train_days),
+          full.slice_days(config.train_days, config.eval_days)};
+}
+
 EvalSession::EvalSession(const std::vector<synth::UserProfile>& profiles,
                          const ExperimentConfig& config,
                          unsigned max_threads)

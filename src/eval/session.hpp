@@ -29,6 +29,7 @@
 #include "eval/user_store.hpp"
 #include "policy/netmaster.hpp"
 #include "sim/accounting.hpp"
+#include "synth/drift.hpp"
 #include "synth/profiles.hpp"
 #include "trace/trace.hpp"
 
@@ -50,6 +51,16 @@ struct ExperimentConfig {
 /// Generates and splits the traces for one profile.
 VolunteerTraces make_traces(const synth::UserProfile& profile,
                             const ExperimentConfig& config);
+
+/// Like make_traces, but the user's habits drift per `spec` over the
+/// generated horizon. `spec.onset_day` is taken relative to the start
+/// of the *evaluation* window (onset 0 = the first evaluated day), so
+/// training stays stationary for non-negative onsets and a mined model
+/// goes stale mid-evaluation — the scenario the drift detector exists
+/// for. A kNone spec reproduces make_traces bit for bit.
+VolunteerTraces make_drifting_traces(const synth::UserProfile& profile,
+                                     const ExperimentConfig& config,
+                                     const synth::DriftSpec& spec);
 
 /// Immutable per-user evaluation state shared across sweep points and
 /// policy cells. Movable, non-copyable (it owns one TraceIndex and one

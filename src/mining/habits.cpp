@@ -8,6 +8,13 @@
 
 namespace netmaster::mining {
 
+double slot_confidence(double k, double p) {
+  const double stderr_p = std::sqrt(p * (1.0 - p) / k);
+  double c = std::clamp(k / (k + 1.0) * (1.0 - stderr_p), 0.0, 1.0);
+  if (k <= 1.0) c *= kSingleDayRegimePenalty;
+  return c;
+}
+
 HabitModel HabitModel::mine(const UserTrace& history) {
   const fault::SanitizeResult repaired = fault::sanitize_trace(history);
   HabitModel model = mine(engine::TraceIndex(repaired.trace));
@@ -16,15 +23,22 @@ HabitModel HabitModel::mine(const UserTrace& history) {
 }
 
 HabitModel HabitModel::mine(const engine::TraceIndex& history) {
+  return mine(history, 0, history.num_days());
+}
+
+HabitModel HabitModel::mine(const engine::TraceIndex& history,
+                            int first_day, int last_day) {
+  NM_REQUIRE(first_day >= 0 && first_day <= last_day &&
+                 last_day <= history.num_days(),
+             "mining window out of range");
   HabitModel model;
 
   // The index's per-(day, hour) buckets hold exactly the occupancy
   // flags and accumulators Eqs. 2–3 need; fold them into the two day
   // regimes. Eq. 3 counts (app, day) pairs: the bucket's distinct-app
   // count over the denominator m*k honours that.
-  const int days = history.num_days();
   const std::size_t num_apps = history.num_apps();
-  for (int d = 0; d < days; ++d) {
+  for (int d = first_day; d < last_day; ++d) {
     auto& s = model.stats_[static_cast<std::size_t>(day_kind(d))];
     ++s.days_observed;
     for (int h = 0; h < kHoursPerDay; ++h) {
@@ -49,16 +63,16 @@ HabitModel HabitModel::mine(const engine::TraceIndex& history) {
       s.mean_intensity[h] /= k;
       s.mean_net_count[h] /= k;
       s.mean_net_bytes[h] /= k;
-      // Per-slot confidence: a sample-size factor k/(k+1) (one day of
-      // history is barely evidence) shrunk further by the binomial
-      // standard error of the pr_active estimate, sqrt(p(1-p)/k).
-      const double p = s.pr_active[h];
-      const double stderr_p = std::sqrt(p * (1.0 - p) / k);
-      s.confidence[h] =
-          std::clamp(k / (k + 1.0) * (1.0 - stderr_p), 0.0, 1.0);
+      s.confidence[h] = slot_confidence(k, s.pr_active[h]);
     }
   }
   return model;
+}
+
+void HabitModel::scale_confidence(double factor) {
+  NM_REQUIRE(std::isfinite(factor) && factor >= 0.0 && factor <= 1.0,
+             "confidence scale must be in [0, 1]");
+  data_quality_ *= factor;
 }
 
 double HabitModel::confidence(DayKind kind, int hour) const {

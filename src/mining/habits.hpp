@@ -33,6 +33,23 @@ inline DayKind day_kind(int day) {
   return is_weekend(day) ? DayKind::kWeekend : DayKind::kWeekday;
 }
 
+/// Extra shrink applied to a regime whose (effective) history is a
+/// single day. One day pins pr_active to 0/1, so the binomial standard
+/// error vanishes and the raw k/(k+1) factor alone would report 0.5 —
+/// above the default robustness gate — for history that is barely
+/// evidence. The penalty keeps one-day regimes (fresh post-drift
+/// re-mines, truncated training) below the default min_confidence until
+/// a second day accumulates.
+inline constexpr double kSingleDayRegimePenalty = 0.4;
+
+/// Per-slot estimate confidence from an effective day count `k` (> 0;
+/// fractional under decayed incremental mining) and the slot's
+/// pr_active estimate `p`: a sample-size factor k/(k+1) shrunk by the
+/// binomial standard error sqrt(p(1-p)/k), with the single-day penalty
+/// above for k <= 1. Shared by the batch and incremental miners so
+/// decay = 0 reproduces batch confidences bit for bit.
+double slot_confidence(double k, double p);
+
 /// Per-hour habit statistics for one day regime.
 struct HourStats {
   std::array<double, kHoursPerDay> pr_active{};   ///< Eq. 2 numerator/k
@@ -62,6 +79,22 @@ class HabitModel {
   /// instead of rescanning the trace. The caller vouches for the
   /// indexed trace (fleet paths validate before indexing).
   static HabitModel mine(const engine::TraceIndex& history);
+
+  /// Windowed mine: folds only the days in [first_day, last_day) of the
+  /// index, keeping their absolute day kinds (weekday/weekend phase is
+  /// preserved, days outside the window contribute nothing — not even
+  /// as empty observations). This is the drift-adaptation refresh path:
+  /// re-mine from the post-changepoint window of the monitored history.
+  /// mine(index) == mine(index, 0, index.num_days()) bit for bit.
+  static HabitModel mine(const engine::TraceIndex& history, int first_day,
+                         int last_day);
+
+  /// Scales the model's data-quality factor by `factor` in [0, 1] —
+  /// every per-slot and pooled confidence shrinks with it. Used by the
+  /// sanitizer ledger and by the drift-adaptation confidence ramp
+  /// (a freshly re-mined model is not trusted at full strength until
+  /// enough post-drift days accumulate).
+  void scale_confidence(double factor);
 
   const HourStats& stats(DayKind kind) const {
     return stats_[static_cast<std::size_t>(kind)];
@@ -93,6 +126,8 @@ class HabitModel {
   double data_quality() const { return data_quality_; }
 
  private:
+  friend class IncrementalHabitMiner;  ///< snapshots fill stats_ directly
+
   std::array<HourStats, 2> stats_{};
   double data_quality_ = 1.0;
 };

@@ -1,6 +1,7 @@
 #include "policy/netmaster.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <sstream>
 #include <vector>
@@ -24,6 +25,7 @@ struct NetMasterMetrics {
   obs::Counter& fallback_taken;
   obs::Counter& interrupts;
   obs::Counter& duty_releases;
+  obs::Counter& drift_fallbacks;
 
   static NetMasterMetrics& get() {
     obs::Registry& reg = obs::Registry::global();
@@ -34,6 +36,9 @@ struct NetMasterMetrics {
         reg.counter("policy.netmaster.fallback_taken"),
         reg.counter("policy.netmaster.interrupts"),
         reg.counter("policy.netmaster.duty_releases"),
+        // Degradations *caused* by drift (the model alone would have
+        // cleared the gate) — grouped with the detector's metrics.
+        reg.counter("mining.drift.fallbacks"),
     };
     return m;
   }
@@ -71,26 +76,47 @@ NetMasterPolicy::NetMasterPolicy(const UserTrace& training,
              "min_confidence must be a probability");
   NM_REQUIRE(config.robustness.fallback_interval_ms > 0,
              "fallback interval must be positive");
+  NM_REQUIRE(std::isfinite(config.robustness.drift_score) &&
+                 config.robustness.drift_score >= 0.0 &&
+                 config.robustness.drift_score <= 1.0,
+             "drift_score must be in [0, 1]");
+  NM_REQUIRE(std::isfinite(config.robustness.drift_confidence_gain) &&
+                 config.robustness.drift_confidence_gain >= 0.0,
+             "drift_confidence_gain must be finite and non-negative");
 
   // Degradation gate: refuse to act on a model mined from too little
   // or too damaged history. The reason string is surfaced through
   // PolicyOutcome / SimReport so fleet reports show which users ran
   // degraded.
   const mining::HabitModel& model = predictor_.model();
+  // Drift discounts the model before the gate. The discount factor is
+  // exactly 1.0 at drift 0, so the stationary gate stays bitwise what
+  // it always was.
+  const double drift_discount =
+      1.0 - std::min(1.0, config.robustness.drift_confidence_gain *
+                              config.robustness.drift_score);
+  const double effective_confidence =
+      model.overall_confidence() * drift_discount;
   std::ostringstream why;
+  bool drift_degraded = false;
   if (model.training_days() < config.robustness.min_training_days) {
     why << "training days " << model.training_days() << " < "
         << config.robustness.min_training_days;
-  } else if (model.overall_confidence() <
-             config.robustness.min_confidence) {
-    why << "model confidence " << model.overall_confidence() << " < "
+  } else if (effective_confidence < config.robustness.min_confidence) {
+    why << "model confidence " << effective_confidence << " < "
         << config.robustness.min_confidence << " (data quality "
         << model.data_quality() << ")";
+    if (config.robustness.drift_score > 0.0) {
+      why << " (drift score " << config.robustness.drift_score << ")";
+      drift_degraded =
+          model.overall_confidence() >= config.robustness.min_confidence;
+    }
   }
   degraded_reason_ = why.str();
   NetMasterMetrics& metrics = NetMasterMetrics::get();
   metrics.models_mined.add(1);
   if (degraded()) metrics.degraded_models.add(1);
+  if (drift_degraded) metrics.drift_fallbacks.add(1);
 }
 
 sim::PolicyOutcome NetMasterPolicy::run(
@@ -107,11 +133,13 @@ sim::PolicyOutcome NetMasterPolicy::run(
     outcome.policy_name = name();
     outcome.path = sim::ExecutionPath::kDegradedFallback;
     outcome.degraded_reason = degraded_reason_;
+    outcome.drift_score = config_.robustness.drift_score;
     return outcome;
   }
 
   sim::PolicyOutcome outcome;
   outcome.policy_name = name();
+  outcome.drift_score = config_.robustness.drift_score;
   const TimeMs horizon = eval.horizon();
   const mem::SessionColumns& sessions = eval.sessions();
   const mem::ActivityColumns& activities = eval.activities();

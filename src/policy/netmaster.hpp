@@ -48,6 +48,19 @@ struct RobustnessConfig {
   int min_training_days = 2;     ///< Eq. 2 needs at least a flip of days
   /// Deferral interval of the substituted DelayBatchPolicy.
   DurationMs fallback_interval_ms = 60 * 1000;
+
+  /// Habit-drift score in [0, 1] from a mining::DriftDetector watching
+  /// the monitoring stream (0 = stationary / no detector). Drift
+  /// discounts the model before the gate: the effective confidence is
+  ///   overall_confidence * (1 − min(1, drift_confidence_gain * score)),
+  /// so a model mined before a habit change stops clearing
+  /// min_confidence and the policy falls back to the safe delay-batch
+  /// schedule until the adaptation loop re-mines. A score of 0 leaves
+  /// the gate bitwise unchanged.
+  double drift_score = 0.0;
+  /// Drift-to-discount slope; 1 means a fully-drifted user (score 1)
+  /// zeroes the model's effective confidence.
+  double drift_confidence_gain = 1.0;
 };
 
 struct NetMasterConfig {

@@ -16,6 +16,7 @@ SimReport account(const UserTrace& eval, const PolicyOutcome& outcome,
   report.horizon_ms = eval.trace_end();
   report.degraded = outcome.path == ExecutionPath::kDegradedFallback;
   report.degraded_reason = outcome.degraded_reason;
+  report.drift_score = outcome.drift_score;
 
   // Consistency: every activity executed exactly once, inside the
   // horizon.

@@ -51,6 +51,7 @@ struct SimReport {
   // Degradation provenance (copied from the outcome).
   bool degraded = false;        ///< fallback path produced this run
   std::string degraded_reason;  ///< empty unless degraded
+  double drift_score = 0.0;     ///< drift score the policy acted under
 };
 
 /// Runs the accountant. Throws netmaster::Error when the outcome is

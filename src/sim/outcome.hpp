@@ -49,6 +49,12 @@ struct PolicyOutcome {
   ExecutionPath path = ExecutionPath::kNormal;
   std::string degraded_reason;
 
+  /// Habit-drift score in [0, 1] the policy acted under (0 when no
+  /// drift detector feeds the policy). High drift shrinks the model
+  /// confidence the robustness gate sees — see
+  /// policy::RobustnessConfig::drift_score.
+  double drift_score = 0.0;
+
   /// Every activity of the eval trace, with its executed timing. A
   /// policy must execute each activity exactly once (checked by the
   /// accountant) — NetMaster defers, it never drops.

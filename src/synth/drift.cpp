@@ -1,0 +1,91 @@
+#include "synth/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/error.hpp"
+#include "synth/generator.hpp"
+
+namespace netmaster::synth {
+
+namespace {
+
+void validate_spec(const DriftSpec& spec) {
+  NM_REQUIRE(spec.onset_day >= 0, "onset_day must be non-negative");
+  NM_REQUIRE(spec.ramp_days > 0, "ramp_days must be positive");
+  NM_REQUIRE(spec.period_days > 0, "period_days must be positive");
+  NM_REQUIRE(std::isfinite(spec.max_alpha) && spec.max_alpha >= 0.0 &&
+                 spec.max_alpha <= 1.0,
+             "max_alpha must be in [0, 1]");
+}
+
+double lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+}  // namespace
+
+double drift_alpha(const DriftSpec& spec, int day) {
+  validate_spec(spec);
+  if (spec.kind == DriftKind::kNone || day < spec.onset_day) return 0.0;
+  const int since = day - spec.onset_day;
+  switch (spec.kind) {
+    case DriftKind::kAbrupt:
+      return spec.max_alpha;
+    case DriftKind::kGradual:
+      return spec.max_alpha *
+             std::min(1.0, static_cast<double>(since + 1) /
+                               static_cast<double>(spec.ramp_days));
+    case DriftKind::kSeasonal:
+      // The first block after onset is the drifted mode, then the user
+      // alternates back and forth.
+      return (since / spec.period_days) % 2 == 0 ? spec.max_alpha : 0.0;
+    case DriftKind::kNone:
+      break;
+  }
+  return 0.0;
+}
+
+UserProfile blend_profiles(const UserProfile& base, const UserProfile& to,
+                           double alpha) {
+  NM_REQUIRE(std::isfinite(alpha) && alpha >= 0.0 && alpha <= 1.0,
+             "blend alpha must be in [0, 1]");
+  if (alpha == 0.0) return base;
+  UserProfile out = base;
+  for (int h = 0; h < kHoursPerDay; ++h) {
+    out.weekday_intensity[h] =
+        lerp(base.weekday_intensity[h], to.weekday_intensity[h], alpha);
+    out.weekend_intensity[h] =
+        lerp(base.weekend_intensity[h], to.weekend_intensity[h], alpha);
+  }
+  out.day_noise_sigma =
+      lerp(base.day_noise_sigma, to.day_noise_sigma, alpha);
+  out.presence_c = lerp(base.presence_c, to.presence_c, alpha);
+  out.session_base_ms = static_cast<DurationMs>(
+      lerp(static_cast<double>(base.session_base_ms),
+           static_cast<double>(to.session_base_ms), alpha));
+  out.usage_dwell_ms = static_cast<DurationMs>(
+      lerp(static_cast<double>(base.usage_dwell_ms),
+           static_cast<double>(to.usage_dwell_ms), alpha));
+  return out;
+}
+
+UserTrace generate_drifting_trace(const UserProfile& profile,
+                                  const DriftSpec& spec, int num_days,
+                                  std::uint64_t seed) {
+  validate_spec(spec);
+  const UserProfile target = make_user(spec.target, profile.id);
+  // A spec yields only a handful of distinct alphas (one for abrupt /
+  // seasonal, ramp_days for gradual); blend each once.
+  std::map<double, UserProfile> blends;
+  const DayProfileFn day_profile =
+      [&](int day) -> const UserProfile& {
+    const double alpha = drift_alpha(spec, day);
+    if (alpha <= 0.0) return profile;
+    auto [it, inserted] = blends.try_emplace(alpha);
+    if (inserted) it->second = blend_profiles(profile, target, alpha);
+    return it->second;
+  };
+  return generate_trace(profile, num_days, seed, day_profile);
+}
+
+}  // namespace netmaster::synth

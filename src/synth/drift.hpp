@@ -1,0 +1,70 @@
+// Non-stationary user archetypes (drift workloads for ROADMAP item 5).
+//
+// Each drift spec layers a habit change over any base Archetype by
+// blending its behavioural shape toward a target archetype with a
+// day-dependent strength alpha(day):
+//
+//   kAbrupt   — step change: alpha jumps 0 → max_alpha at onset_day
+//               (travel, a new job; the changepoint the detector must
+//               localize),
+//   kGradual  — linear ramp over ramp_days starting at onset_day
+//               (shifting sleep schedule),
+//   kSeasonal — alternating period_days blocks of base and drifted
+//               habits starting at onset_day (on-call rotations,
+//               semester vs break).
+//
+// Blending moves exactly the statistics the miner recovers — hourly
+// intensity curves, presence dropout, session shape — while keeping
+// the app population and transfer parameters anchored to the base
+// profile, so drifted traces stay comparable in traffic volume and the
+// energy deltas isolate the habit shift. alpha = 0 days are generated
+// bit-for-bit as the stationary archetype.
+#pragma once
+
+#include <cstdint>
+
+#include "synth/presets.hpp"
+#include "synth/profiles.hpp"
+#include "trace/trace.hpp"
+
+namespace netmaster::synth {
+
+enum class DriftKind {
+  kNone,      ///< stationary (alpha = 0 everywhere)
+  kAbrupt,    ///< step to max_alpha at onset_day
+  kGradual,   ///< linear ramp over ramp_days from onset_day
+  kSeasonal,  ///< alternating period_days blocks from onset_day
+};
+
+struct DriftSpec {
+  DriftKind kind = DriftKind::kNone;
+  /// Archetype whose habit shape the user drifts toward.
+  Archetype target = Archetype::kNightOwl;
+  /// First day (absolute, 0-based) on which alpha may be non-zero.
+  int onset_day = 0;
+  /// kGradual: days from onset to reach max_alpha.
+  int ramp_days = 7;
+  /// kSeasonal: length of each alternating mode block.
+  int period_days = 7;
+  /// Blend strength cap in [0, 1]; 1 = fully the target's habits.
+  double max_alpha = 1.0;
+};
+
+/// Blend strength in [0, max_alpha] for an absolute day index.
+double drift_alpha(const DriftSpec& spec, int day);
+
+/// Interpolates the habit-shape parameters of `base` toward `to` by
+/// `alpha` in [0, 1]: intensity curves, day noise, presence dropout,
+/// session/dwell lengths. Identity, apps, and transfer rates stay the
+/// base's. alpha = 0 returns `base` unchanged.
+UserProfile blend_profiles(const UserProfile& base, const UserProfile& to,
+                           double alpha);
+
+/// Generates a trace whose habits drift from `profile` toward
+/// `spec.target` per drift_alpha. With kind = kNone (or alpha = 0 for
+/// every day) the result is bit-for-bit generate_trace(profile, ...).
+UserTrace generate_drifting_trace(const UserProfile& profile,
+                                  const DriftSpec& spec, int num_days,
+                                  std::uint64_t seed);
+
+}  // namespace netmaster::synth

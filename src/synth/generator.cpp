@@ -171,6 +171,12 @@ void generate_background(Rng& rng, const UserProfile& profile,
 
 UserTrace generate_trace(const UserProfile& profile, int num_days,
                          std::uint64_t seed) {
+  return generate_trace(profile, num_days, seed, DayProfileFn{});
+}
+
+UserTrace generate_trace(const UserProfile& profile, int num_days,
+                         std::uint64_t seed,
+                         const DayProfileFn& day_profile) {
   NM_REQUIRE(num_days > 0, "num_days must be positive");
   NM_REQUIRE(!profile.apps.empty(), "profile needs at least one app");
 
@@ -188,7 +194,10 @@ UserTrace generate_trace(const UserProfile& profile, int num_days,
     Rng day_rng(derive_seed(seed, 1000u * static_cast<std::uint64_t>(
                                        profile.id + 1) +
                                       static_cast<std::uint64_t>(day)));
-    auto day_sessions = generate_day_sessions(day_rng, profile, day);
+    const UserProfile& day_p = day_profile ? day_profile(day) : profile;
+    NM_REQUIRE(day_p.apps.size() == profile.apps.size(),
+               "day profile must keep the base app population");
+    auto day_sessions = generate_day_sessions(day_rng, day_p, day);
     sessions.insert(sessions.end(),
                     std::make_move_iterator(day_sessions.begin()),
                     std::make_move_iterator(day_sessions.end()));

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 
 #include "synth/profiles.hpp"
@@ -17,6 +18,22 @@ namespace netmaster::synth {
 /// validated (sorted, disjoint sessions, in-range events).
 UserTrace generate_trace(const UserProfile& profile, int num_days,
                          std::uint64_t seed);
+
+/// Per-day profile view for non-stationary users: returns the profile
+/// shaping day `day`'s screen sessions (intensity curve, presence
+/// dropout, session shape). The returned profile must carry the same
+/// number of apps as the base profile — app ids and the foreground /
+/// background transfer streams stay anchored to the base.
+using DayProfileFn = std::function<const UserProfile&(int day)>;
+
+/// Day-varying generation. A callback that always returns `profile`
+/// (or an empty callback) generates bit-for-bit the same trace as the
+/// stationary overload: the per-day RNG streams are untouched by the
+/// profile lookup. This is the substrate for the drift archetypes in
+/// synth/drift.hpp.
+UserTrace generate_trace(const UserProfile& profile, int num_days,
+                         std::uint64_t seed,
+                         const DayProfileFn& day_profile);
 
 /// Generates a population, one trace per profile, from a single master
 /// seed (per-user streams are derived from the user id).

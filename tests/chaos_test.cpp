@@ -19,7 +19,9 @@
 #include "fault/sanitize.hpp"
 #include "policy/baseline.hpp"
 #include "policy/netmaster.hpp"
+#include "service/online_sim.hpp"
 #include "sim/accounting.hpp"
+#include "synth/drift.hpp"
 #include "synth/presets.hpp"
 
 namespace netmaster {
@@ -298,6 +300,74 @@ TEST(ChaosFleet, DegradedUserIsVisibleInTheFleetReport) {
               is_netmaster ? 1u : 0u);
     if (is_netmaster) {
       EXPECT_FALSE(report.cell(1, p).report.degraded_reason.empty());
+    }
+  }
+}
+
+// ---- Drift + fault combined matrix. ----------------------------------
+// Non-stationary users whose monitoring data is ALSO damaged: every
+// drift archetype x every fault kind, driven through the adaptive
+// online executive (detector + record store + re-mine-on-drift). The
+// invariants are the chaos ones — never crash, conserved accounting,
+// bounded degradation vs the baseline — with the adaptation loop live.
+
+TEST(ChaosDrift, DriftPlusFaultsDegradeGracefullyUnderAdaptation) {
+  eval::ExperimentConfig cfg;
+  cfg.train_days = 14;  // adaptation needs a real horizon
+  cfg.eval_days = 14;
+  cfg.seed = 42;
+  const RadioPowerParams& radio = cfg.netmaster.profit.radio;
+
+  const synth::DriftKind kinds[] = {synth::DriftKind::kAbrupt,
+                                    synth::DriftKind::kGradual,
+                                    synth::DriftKind::kSeasonal};
+  service::AdaptationConfig adapt;
+  adapt.enable = true;
+
+  for (const synth::DriftKind drift_kind : kinds) {
+    synth::DriftSpec spec;
+    spec.kind = drift_kind;
+    spec.onset_day = 2;
+    const eval::VolunteerTraces traces = eval::make_drifting_traces(
+        synth::make_user(synth::Archetype::kOfficeWorker, 1), cfg, spec);
+    const engine::TraceIndex eval_idx(traces.eval);
+    const sim::SimReport base = sim::account(
+        traces.eval, policy::BaselinePolicy().run(eval_idx), radio);
+
+    for (const fault::FaultKind fault_kind : fault::all_fault_kinds()) {
+      const std::string context =
+          "drift " + std::to_string(static_cast<int>(drift_kind)) +
+          " fault " + std::string(fault::kind_name(fault_kind));
+      fault::FaultPlan plan;
+      plan.seed = 7;
+      plan.with(fault_kind, 0.2);
+
+      // Corrupted training + drifting eval through the adaptive loop:
+      // the tolerant mine absorbs the damage, the detector watches the
+      // drifting stream, refreshes hot-swap the predictor mid-replay.
+      const UserTrace damaged =
+          fault::inject_faults(traces.training, plan).trace;
+      const service::OnlineSimResult result =
+          service::run_online(damaged, eval_idx, cfg.netmaster, adapt);
+      const sim::SimReport report =
+          sim::account(traces.eval, result.outcome, radio);
+      expect_conserved(report, context);
+      EXPECT_LE(report.energy_j, 1.05 * base.energy_j) << context;
+      EXPECT_LE(report.affected_fraction, 1.0) << context;
+      EXPECT_GE(result.outcome.drift_score, 0.0) << context;
+      EXPECT_LE(result.outcome.drift_score, 1.0) << context;
+
+      // Corrupted EVAL stream as well: sanitize, then adapt over the
+      // repaired drifting trace. Must still replay conserved.
+      const fault::SanitizeResult repaired = fault::sanitize_trace(
+          fault::inject_faults(traces.eval, plan).trace);
+      ASSERT_NO_THROW(repaired.trace.validate()) << context;
+      const engine::TraceIndex repaired_idx(repaired.trace);
+      const service::OnlineSimResult dirty_eval = service::run_online(
+          traces.training, repaired_idx, cfg.netmaster, adapt);
+      const sim::SimReport dirty_report =
+          sim::account(repaired.trace, dirty_eval.outcome, radio);
+      expect_conserved(dirty_report, context + " dirty eval");
     }
   }
 }
