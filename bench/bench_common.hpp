@@ -117,8 +117,10 @@ class FigureRecorder {
     }
     out << "],\"scalars\":{\"peak_rss_bytes\":" << peak_rss_bytes();
     for (std::size_t i = 0; i < scalars_.size(); ++i) {
+      // json_number keeps a NaN/inf scalar (e.g. a speedup with a
+      // zero-time denominator) from corrupting the whole dump.
       out << ",\"" << obs::json_escape(scalars_[i].first)
-          << "\":" << scalars_[i].second;
+          << "\":" << obs::json_number(scalars_[i].second);
     }
     out << "},\"metrics\":";
     obs::write_json_object(obs::Registry::global(), out);

@@ -1,0 +1,198 @@
+// netmasterd service throughput (ROADMAP item 1).
+//
+// Where the figure benches replay recorded traces in batch, this bench
+// drives the long-lived daemon with the deterministic load generator
+// and reports what a deployment would care about: sustained ingest
+// events/sec through the sharded pipeline (folds, incremental mining
+// and model builds riding along), per-request latency quantiles for
+// the blocking enqueue, wire-protocol line throughput, and — the
+// correctness anchor — a batch-equivalence scalar that is 1.0 only
+// when every streamed schedule matches the batch policy path bit for
+// bit (CI gates on it).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "daemon/loadgen.hpp"
+#include "daemon/netmasterd.hpp"
+#include "engine/trace_index.hpp"
+#include "net/protocol.hpp"
+#include "policy/netmaster.hpp"
+
+namespace {
+
+using namespace netmaster;
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// p-th quantile of a latency sample (microseconds), by selection.
+double quantile_us(std::vector<double>& sample, double p) {
+  if (sample.empty()) return 0.0;
+  const std::size_t k = std::min(
+      sample.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(sample.size())));
+  std::nth_element(sample.begin(), sample.begin() + static_cast<long>(k),
+                   sample.end());
+  return sample[k];
+}
+
+bool outcomes_bitwise_equal(const sim::PolicyOutcome& a,
+                            const sim::PolicyOutcome& b) {
+  if (a.transfers.size() != b.transfers.size()) return false;
+  for (std::size_t i = 0; i < a.transfers.size(); ++i) {
+    if (a.transfers[i].activity_index != b.transfers[i].activity_index ||
+        a.transfers[i].start != b.transfers[i].start ||
+        a.transfers[i].duration != b.transfers[i].duration) {
+      return false;
+    }
+  }
+  return a.interrupts == b.interrupts &&
+         a.duty_releases == b.duty_releases;
+}
+
+daemon::LoadPlan make_plan() {
+  daemon::LoadConfig load;
+  load.users = 8;  // one of each archetype
+  load.train_days = 14;
+  load.eval_days = 7;
+  load.seed = bench::kDefaultSeed;
+  return daemon::build_load_plan(load);
+}
+
+void print_figure() {
+  bench::banner(
+      "netmasterd streaming-service throughput",
+      "long-lived middleware: continuous monitoring feeds incremental "
+      "per-day mining (decay 0 == batch, Section V)");
+
+  const daemon::LoadPlan plan = make_plan();
+
+  // ---- Direct-API ingest throughput + enqueue latency tail. ----
+  daemon::DaemonConfig config;
+  config.num_shards = 4;
+  daemon::Netmasterd svc(config);
+  for (const daemon::LoadUser& user : plan.users) {
+    svc.add_user(user.session);
+  }
+  std::vector<double> latency_us;
+  latency_us.reserve(plan.events.size());
+  const Clock::time_point ingest_start = Clock::now();
+  for (const daemon::LoadEvent& event : plan.events) {
+    const Clock::time_point t0 = Clock::now();
+    svc.ingest(event.user, event.record);
+    latency_us.push_back(
+        std::chrono::duration<double, std::micro>(Clock::now() - t0)
+            .count());
+  }
+  for (const daemon::LoadUser& user : plan.users) {
+    svc.finish_user(user.session.user);
+  }
+  svc.drain();  // everything folded, mined, schedulable
+  const double ingest_s = seconds_since(ingest_start);
+  const double events_per_sec =
+      ingest_s > 0.0 ? static_cast<double>(plan.events.size()) / ingest_s
+                     : 0.0;
+
+  // ---- The correctness anchor: streamed == batch, bit for bit. ----
+  bool all_equal = true;
+  for (const daemon::LoadUser& user : plan.users) {
+    const daemon::ScheduleResult streamed =
+        svc.schedule(user.session.user);
+    const policy::NetMasterPolicy batch(user.training, config.policy);
+    const sim::PolicyOutcome expected =
+        batch.run(engine::TraceIndex(user.eval));
+    all_equal = all_equal && streamed.model_version == 1 &&
+                outcomes_bitwise_equal(streamed.outcome, expected);
+  }
+  const double equivalence = all_equal ? 1.0 : 0.0;
+
+  // ---- Wire-protocol line throughput (parse + dispatch + reply). ----
+  daemon::Netmasterd wire;
+  const std::vector<std::string> lines = daemon::plan_request_lines(plan);
+  const Clock::time_point wire_start = Clock::now();
+  for (const std::string& line : lines) wire.handle_line(line);
+  wire.drain();
+  const double wire_s = seconds_since(wire_start);
+  const double lines_per_sec =
+      wire_s > 0.0 ? static_cast<double>(lines.size()) / wire_s : 0.0;
+
+  const double p50 = quantile_us(latency_us, 0.50);
+  const double p90 = quantile_us(latency_us, 0.90);
+  const double p99 = quantile_us(latency_us, 0.99);
+
+  eval::Table t({"surface", "requests", "seconds", "req/sec", "p50 us",
+                 "p90 us", "p99 us"});
+  t.add_row({"direct ingest", std::to_string(plan.events.size()),
+             eval::Table::num(ingest_s, 3),
+             eval::Table::num(events_per_sec, 0), eval::Table::num(p50, 2),
+             eval::Table::num(p90, 2), eval::Table::num(p99, 2)});
+  t.add_row({"wire lines", std::to_string(lines.size()),
+             eval::Table::num(wire_s, 3),
+             eval::Table::num(lines_per_sec, 0), "-", "-", "-"});
+  bench::emit(t, "service_throughput");
+
+  eval::Table eq({"check", "value"});
+  eq.add_row({"batch equivalence (1 = bit-for-bit)",
+              eval::Table::num(equivalence, 0)});
+  eq.add_row({"users", std::to_string(plan.users.size())});
+  eq.add_row({"days folded per user",
+              std::to_string(plan.users.empty()
+                                 ? 0
+                                 : plan.users[0].session.num_days)});
+  bench::emit(eq, "equivalence");
+
+  bench::record_scalar("daemon_events_per_sec", events_per_sec);
+  bench::record_scalar("daemon_wire_lines_per_sec", lines_per_sec);
+  bench::record_scalar("daemon_ingest_p50_us", p50);
+  bench::record_scalar("daemon_ingest_p90_us", p90);
+  bench::record_scalar("daemon_ingest_p99_us", p99);
+  bench::record_scalar("daemon_batch_equivalence", equivalence);
+}
+
+// ---- Micro benches. --------------------------------------------------
+
+void BM_ParseIngestLine(benchmark::State& state) {
+  const std::string line = "ingest 3 net 1600 2 5000 1024 256 1 0";
+  net::Request req;
+  std::string error;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::parse_request(line, req, error));
+  }
+}
+BENCHMARK(BM_ParseIngestLine);
+
+void BM_FormatIngestLine(benchmark::State& state) {
+  const net::Request req =
+      net::make_net_request(3, 1600, 2, 5000, 1024, 256, true, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::format_request(req));
+  }
+}
+BENCHMARK(BM_FormatIngestLine);
+
+void BM_ScheduleRoundTrip(benchmark::State& state) {
+  // Cached-schedule request: measures the synchronous command round
+  // trip through a shard queue (enqueue, worker dispatch, future).
+  static daemon::Netmasterd* svc = [] {
+    daemon::LoadConfig load;
+    load.users = 1;
+    auto* d = new daemon::Netmasterd();
+    daemon::replay_plan(daemon::build_load_plan(load), *d);
+    d->schedule(0);  // warm the cache
+    return d;
+  }();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svc->schedule(0));
+  }
+}
+BENCHMARK(BM_ScheduleRoundTrip);
+
+}  // namespace
+
+NETMASTER_BENCH_MAIN()

@@ -1,0 +1,224 @@
+#include "daemon/netmasterd.hpp"
+
+#include <cstdint>
+#include <exception>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "net/protocol.hpp"
+#include "obs/metrics.hpp"
+
+namespace netmaster::daemon {
+
+namespace {
+
+/// FNV-1a over the executed transfers — a cheap wire-comparable
+/// fingerprint of a schedule (two bit-identical schedules share it).
+std::uint64_t schedule_digest(const sim::PolicyOutcome& outcome) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xffULL;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const sim::ExecutedTransfer& t : outcome.transfers) {
+    mix(static_cast<std::uint64_t>(t.activity_index));
+    mix(static_cast<std::uint64_t>(t.start));
+    mix(static_cast<std::uint64_t>(t.duration));
+  }
+  return h;
+}
+
+}  // namespace
+
+Netmasterd::Netmasterd(DaemonConfig config) : config_(config) {
+  NM_REQUIRE(config_.num_shards > 0, "num_shards must be positive");
+  shards_.reserve(static_cast<std::size_t>(config_.num_shards));
+  for (int i = 0; i < config_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(
+        i, config_.queue_capacity, config_.policy, config_.adapt));
+  }
+}
+
+Netmasterd::~Netmasterd() { shutdown(); }
+
+Shard& Netmasterd::shard_for(UserId user) {
+  // Fibonacci hashing of the id; user ids are often small and dense,
+  // and modulo alone would put a sequential fleet on few shards.
+  const std::uint64_t h =
+      static_cast<std::uint64_t>(user) * 11400714819323198485ULL;
+  return *shards_[static_cast<std::size_t>(
+      h % static_cast<std::uint64_t>(shards_.size()))];
+}
+
+void Netmasterd::add_user(UserSessionConfig config) {
+  NM_REQUIRE(!shutdown_.load(), "daemon is shut down");
+  const UserId user = config.user;
+  shard_for(user).add_user(std::move(config));
+  obs::Registry::global().counter("daemon.users").add(1);
+}
+
+void Netmasterd::ingest(UserId user, const service::Record& record) {
+  NM_REQUIRE(!shutdown_.load(), "daemon is shut down");
+  shard_for(user).ingest(user, record);
+}
+
+void Netmasterd::finish_user(UserId user) {
+  NM_REQUIRE(!shutdown_.load(), "daemon is shut down");
+  shard_for(user).finish(user);
+}
+
+ScheduleResult Netmasterd::schedule(UserId user) {
+  NM_REQUIRE(!shutdown_.load(), "daemon is shut down");
+  return shard_for(user).schedule(user);
+}
+
+DaemonStats Netmasterd::stats() {
+  NM_REQUIRE(!shutdown_.load(), "daemon is shut down");
+  DaemonStats out;
+  out.num_shards = static_cast<int>(shards_.size());
+  for (auto& shard : shards_) out.totals += shard->stats();
+  return out;
+}
+
+void Netmasterd::drain() {
+  NM_REQUIRE(!shutdown_.load(), "daemon is shut down");
+  std::vector<std::future<void>> tokens;
+  tokens.reserve(shards_.size());
+  for (auto& shard : shards_) tokens.push_back(shard->drain());
+  for (auto& token : tokens) token.get();
+}
+
+void Netmasterd::shutdown() {
+  bool expected = false;
+  if (!shutdown_.compare_exchange_strong(expected, true)) return;
+  // Stop applies the whole backlog before joining, so an in-band
+  // `shutdown` still drains everything enqueued before it.
+  for (auto& shard : shards_) shard->stop();
+  close_connections();
+}
+
+void Netmasterd::close_connections() {
+  std::vector<std::shared_ptr<net::Connection>> open;
+  net::Listener* listener = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(serve_mutex_);
+    open.swap(connections_);
+    listener = listener_;
+  }
+  if (listener != nullptr) listener->close();
+  for (auto& conn : open) conn->close();
+}
+
+std::string Netmasterd::handle_line(const std::string& line,
+                                    bool* shutdown_requested) {
+  net::Request request;
+  std::string error;
+  if (!net::parse_request(line, request, error)) {
+    return net::err_response(error);
+  }
+  if (request.kind == net::RequestKind::kShutdown &&
+      shutdown_requested != nullptr) {
+    *shutdown_requested = true;
+  }
+  try {
+    switch (request.kind) {
+      case net::RequestKind::kUser: {
+        UserSessionConfig config;
+        config.user = request.user;
+        config.train_days = request.train_days;
+        config.num_days = request.num_days;
+        config.app_names = request.apps;
+        add_user(std::move(config));
+        return net::ok_response();
+      }
+      case net::RequestKind::kIngest:
+        ingest(request.user, request.record);
+        return net::ok_response();
+      case net::RequestKind::kFinish:
+        finish_user(request.user);
+        return net::ok_response();
+      case net::RequestKind::kGetSchedule: {
+        const ScheduleResult result = schedule(request.user);
+        std::ostringstream out;
+        out << "transfers=" << result.outcome.transfers.size()
+            << " interrupts=" << result.outcome.interrupts
+            << " duty_releases=" << result.outcome.duty_releases
+            << " model=" << result.model_version
+            << " degraded=" << (result.degraded ? 1 : 0) << " digest="
+            << std::hex << schedule_digest(result.outcome);
+        return net::ok_response(out.str());
+      }
+      case net::RequestKind::kStats: {
+        const DaemonStats s = stats();
+        std::ostringstream out;
+        out << "shards=" << s.num_shards << " users=" << s.totals.users
+            << " trained=" << s.totals.users_trained
+            << " finished=" << s.totals.users_finished
+            << " events=" << s.totals.events
+            << " late=" << s.totals.late_events
+            << " dropped=" << s.totals.dropped_events
+            << " folds=" << s.totals.days_folded
+            << " refreshes=" << s.totals.refreshes
+            << " alarms=" << s.totals.alarms
+            << " schedules=" << s.totals.schedules
+            << " queued=" << s.totals.queue_depth;
+        return net::ok_response(out.str());
+      }
+      case net::RequestKind::kDrain:
+        drain();
+        return net::ok_response("drained");
+      case net::RequestKind::kShutdown:
+        // The reply is written by the caller before shutdown closes
+        // the transport — see serve()'s connection loop.
+        return net::ok_response("shutting down");
+    }
+  } catch (const std::exception& e) {
+    return net::err_response(e.what());
+  }
+  return net::err_response("unhandled request");
+}
+
+void Netmasterd::serve(net::Listener& listener) {
+  {
+    std::lock_guard<std::mutex> lock(serve_mutex_);
+    NM_REQUIRE(listener_ == nullptr, "serve() is already running");
+    listener_ = &listener;
+  }
+  if (shutdown_.load()) listener.close();
+
+  std::vector<std::thread> workers;
+  while (std::unique_ptr<net::Connection> accepted = listener.accept()) {
+    std::shared_ptr<net::Connection> conn = std::move(accepted);
+    {
+      std::lock_guard<std::mutex> lock(serve_mutex_);
+      if (shutdown_.load()) {
+        conn->close();
+        break;
+      }
+      connections_.push_back(conn);
+    }
+    workers.emplace_back([this, conn] {
+      std::string line;
+      while (conn->read_line(line)) {
+        bool stop = false;
+        conn->write_line(handle_line(line, &stop));
+        if (stop) {
+          shutdown();  // closes the listener and every connection
+          break;
+        }
+      }
+      conn->close();
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  {
+    std::lock_guard<std::mutex> lock(serve_mutex_);
+    listener_ = nullptr;
+  }
+}
+
+}  // namespace netmaster::daemon

@@ -1,0 +1,105 @@
+// netmasterd — the long-lived NetMaster service.
+//
+// Where the eval pipeline replays recorded traces in batch, the daemon
+// ingests monitoring events as a stream and serves schedules on
+// demand. Users are partitioned across N shards by hash(user) % N
+// (daemon/shard.hpp); each shard's worker owns its users' sessions
+// outright, so the ingest→fold→mine→schedule path never takes a
+// cross-shard lock.
+//
+// Two entry surfaces share the same core:
+//
+//   * the direct API (add_user/ingest/finish_user/schedule/...) —
+//     used by tests, the bench, and the load generator for zero-copy
+//     in-process driving;
+//   * the line protocol (net/protocol.hpp) via handle_line(), served
+//     over any net::Listener (TCP or in-process) by serve().
+//
+// drain() resolves when every event enqueued before it has been fully
+// applied (folded, mined, reflected in schedules) — the FIFO shard
+// queues make that a token per shard. shutdown() drains, stops the
+// shards, and closes the listener and every open connection, so a
+// blocked serve() returns.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "daemon/shard.hpp"
+#include "net/transport.hpp"
+
+namespace netmaster::daemon {
+
+struct DaemonConfig {
+  int num_shards = 4;
+  /// Per-shard command queue bound; full queues block producers
+  /// (ingest backpressure).
+  std::size_t queue_capacity = 8192;
+  policy::NetMasterConfig policy;
+  /// Drift adaptation of the serving models, on by default — the
+  /// daemon is the online deployment the adaptation loop exists for.
+  /// Stationary streams never alarm, so batch equivalence holds.
+  service::AdaptationConfig adapt;
+
+  DaemonConfig() { adapt.enable = true; }
+};
+
+struct DaemonStats {
+  ShardStats totals;  ///< summed across shards
+  int num_shards = 0;
+};
+
+class Netmasterd {
+ public:
+  explicit Netmasterd(DaemonConfig config = {});
+  ~Netmasterd();
+
+  Netmasterd(const Netmasterd&) = delete;
+  Netmasterd& operator=(const Netmasterd&) = delete;
+
+  const DaemonConfig& config() const { return config_; }
+
+  // ---- Direct API (thread-safe; all routes through the shards). ----
+  void add_user(UserSessionConfig config);
+  void ingest(UserId user, const service::Record& record);
+  void finish_user(UserId user);
+  ScheduleResult schedule(UserId user);
+  DaemonStats stats();
+  /// Blocks until every previously-enqueued event has been applied.
+  void drain();
+  /// Drains, stops the shards, closes the listener and every open
+  /// connection. Idempotent; the daemon accepts no work afterwards.
+  void shutdown();
+
+  // ---- Protocol surface. ----
+  /// Applies one request line, returns the response line. Malformed
+  /// or failing requests return `err ...`; the daemon never throws on
+  /// wire input. A well-formed `shutdown` request sets
+  /// `*shutdown_requested` (when given) and leaves the actual
+  /// shutdown to the caller, so it can flush the reply first.
+  std::string handle_line(const std::string& line,
+                          bool* shutdown_requested = nullptr);
+
+  /// Accept loop: serves connections (one thread each) until the
+  /// listener closes — which shutdown() triggers, including via an
+  /// in-band `shutdown` request. Blocks; run it on its own thread for
+  /// a concurrently-driven daemon.
+  void serve(net::Listener& listener);
+
+ private:
+  Shard& shard_for(UserId user);
+  void close_connections();
+
+  DaemonConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> shutdown_{false};
+
+  std::mutex serve_mutex_;
+  net::Listener* listener_ = nullptr;
+  std::vector<std::shared_ptr<net::Connection>> connections_;
+};
+
+}  // namespace netmaster::daemon

@@ -1,0 +1,312 @@
+#include "daemon/user_session.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "engine/trace_index.hpp"
+#include "fault/sanitize.hpp"
+#include "mining/habits.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace netmaster::daemon {
+
+namespace {
+
+/// Fold/mine/refresh telemetry, resolved once per process.
+struct SessionMetrics {
+  obs::Counter& folds;
+  obs::Counter& late;
+  obs::Counter& models;
+  obs::Counter& refreshes;
+  obs::Counter& alarms;
+
+  static SessionMetrics& get() {
+    obs::Registry& reg = obs::Registry::global();
+    static SessionMetrics m{
+        reg.counter("daemon.fold.days"),
+        reg.counter("daemon.ingest.late_events"),
+        reg.counter("daemon.mine.models"),
+        reg.counter("daemon.refresh.count"),
+        reg.counter("daemon.drift.alarms"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+UserSession::UserSession(UserSessionConfig config,
+                         policy::NetMasterConfig policy_config,
+                         service::AdaptationConfig adapt)
+    : config_(std::move(config)),
+      policy_config_(policy_config),
+      adapt_(adapt),
+      detector_(adapt.detector) {
+  NM_REQUIRE(config_.train_days > 0 && config_.train_days % 7 == 0,
+             "train_days must be a positive multiple of 7");
+  NM_REQUIRE(config_.num_days > config_.train_days,
+             "num_days must exceed train_days");
+  NM_REQUIRE(!config_.app_names.empty(), "app table must be non-empty");
+  if (adapt_.enable) {
+    NM_REQUIRE(adapt_.window_days > 0, "window_days must be positive");
+    NM_REQUIRE(adapt_.min_refresh_gap_days > 0,
+               "min_refresh_gap_days must be positive");
+    NM_REQUIRE(adapt_.backoff_factor >= 1,
+               "backoff_factor must be at least 1");
+    NM_REQUIRE(adapt_.confidence_ramp_days > 0,
+               "confidence_ramp_days must be positive");
+  }
+  train_end_ = day_start(config_.train_days);
+  refresh_gap_ = adapt_.min_refresh_gap_days;
+}
+
+void UserSession::ingest(const service::Record& record) {
+  ++stats_.events;
+  const int day = day_of(std::max<TimeMs>(record.time, 0));
+  if (stats_.finished || record.time < 0 || day >= config_.num_days ||
+      day < current_day_) {
+    // Out of the horizon, or its day already folded: the store keeps
+    // the record (full-window reconstructions still see it) but the
+    // at-most-once fold discipline never re-folds a completed day.
+    ++stats_.late_events;
+    SessionMetrics::get().late.add(1);
+    if (!stats_.finished && record.time >= 0) store_.append(record);
+    return;
+  }
+  if (day > current_day_) fold_through(day);
+
+  // Ingest-side session pairing, mirroring RecordStore::reconstruct:
+  // the first ON opens, the first OFF closes, repeats are ignored. The
+  // state feeds the synthetic screen-on edge when a session straddles
+  // the training/evaluation boundary (slice_days clips; the eval
+  // reconstruction must see the same clipped session).
+  if (record.kind == service::RecordKind::kScreenOn) {
+    if (screen_open_since_ < 0) screen_open_since_ = record.time;
+  } else if (record.kind == service::RecordKind::kScreenOff) {
+    screen_open_since_ = -1;
+  }
+
+  store_.append(record);
+  window_records_.push_back(record);
+  if (record.time >= train_end_) {
+    ++eval_events_;
+    cache_valid_ = false;
+  }
+}
+
+void UserSession::finish() {
+  if (stats_.finished) return;
+  fold_through(config_.num_days);
+  stats_.finished = true;
+}
+
+void UserSession::fold_through(int day) {
+  const int until = std::min(day, config_.num_days);
+  while (current_day_ < until) {
+    fold_day(current_day_);
+    ++current_day_;
+    if (current_day_ == config_.train_days) complete_training();
+    // Keep only the trailing day the next fold's window needs.
+    const TimeMs keep_from = day_start(current_day_ - 1);
+    std::erase_if(window_records_, [&](const service::Record& r) {
+      return r.time < keep_from;
+    });
+  }
+}
+
+mining::DayContribution UserSession::summarize_window(int day) const {
+  // Reconstruct days [day-1, day] shifted to a 2-day (1-day for day 0)
+  // window: sessions spanning the leading midnight pair up, sessions
+  // still open at the window's end clamp to it — exactly the screen
+  // coverage the full-history index derives for `day`. The summary is
+  // then patched to the absolute day's regime.
+  const int first = std::max(day - 1, 0);
+  const TimeMs lo = day_start(first);
+  const TimeMs hi = day_start(day + 1);
+  service::RecordStore window;
+  for (const service::Record& r : window_records_) {
+    if (r.time < lo || r.time >= hi) continue;
+    service::Record shifted = r;
+    shifted.time -= lo;
+    window.append(shifted);
+  }
+  const fault::SanitizeResult repaired =
+      window.to_trace_tolerant(config_.user, day + 1 - first,
+                               config_.app_names);
+  const engine::TraceIndex index(repaired.trace);
+  mining::DayContribution c =
+      mining::IncrementalHabitMiner::summarize_day(day - first, index);
+  c.kind = mining::day_kind(day);
+  return c;
+}
+
+void UserSession::fold_day(int day) {
+  obs::SpanScope span("daemon.fold");
+  const mining::DayContribution c = summarize_window(day);
+  ++stats_.days_folded;
+  SessionMetrics::get().folds.add(1);
+
+  if (day < config_.train_days) {
+    miner_.observe_summary(c);
+    return;
+  }
+
+  // Evaluation day: the online executive's midnight tick. train_days
+  // is a multiple of 7, so the relative day keeps its regime.
+  if (!adapt_.enable) return;
+  const int rel = day - config_.train_days;
+  detector_.observe_summary(rel, c);
+  stats_.drift_score = detector_.score();
+  if (detector_.alarmed()) {
+    if (!alarm_pending_) {
+      alarm_pending_ = true;
+      ++stats_.alarms;
+      SessionMetrics::get().alarms.add(1);
+    }
+    // The fold of relative day `rel` happens at the midnight opening
+    // relative day rel + 1 — the day the online executive would
+    // attempt its refresh.
+    const int refresh_day = rel + 1;
+    if (refresh_day >= next_refresh_day_) attempt_refresh(refresh_day);
+  }
+}
+
+void UserSession::complete_training() {
+  obs::SpanScope span("daemon.mine");
+  // One-time whole-training reconstruction: the sanitizer's quality
+  // ledger scales the snapshot's confidence exactly as the batch
+  // miner's does, and SpecialApps wants the training trace (the
+  // incremental counters only carry per-hour aggregates).
+  service::RecordStore store;
+  for (const service::Record& r : training_records()) store.append(r);
+  const fault::SanitizeResult repaired = store.to_trace_tolerant(
+      config_.user, config_.train_days, config_.app_names);
+  mining::HabitModel model =
+      miner_.snapshot(repaired.report.quality());
+  special_ = mining::SpecialApps::detect(repaired.trace);
+  policy_ = std::make_unique<policy::NetMasterPolicy>(
+      std::move(model), special_, policy_config_);
+  if (adapt_.enable) {
+    // Seed the drift banks with the training history and re-anchor, as
+    // the online executive does: drift is measured relative to the
+    // habits the deployed model was mined from.
+    detector_.observe_index(engine::TraceIndex(repaired.trace));
+    detector_.notify_adapted();
+  }
+  eval_screen_open_ =
+      screen_open_since_ >= 0 && screen_open_since_ < train_end_;
+  stats_.trained = true;
+  stats_.model_version = 1;
+  cache_valid_ = false;
+  SessionMetrics::get().models.add(1);
+}
+
+void UserSession::attempt_refresh(int eval_day) {
+  obs::SpanScope span("daemon.refresh");
+  ++stats_.refresh_attempts;
+  // Mirror of service/online_sim.cpp attempt_refresh: windowed re-mine
+  // from the post-changepoint evaluation records, confidence ramped by
+  // the window length, adopted only past the robustness gate. One
+  // divergence: the horizon filter here closes a boundary-straddling
+  // session by the reconstruction clamp instead of the sanitizer's
+  // clip, so that edge case skips the ledger's clamp penalty.
+  const int changepoint =
+      std::clamp(detector_.changepoint_day(), 0, eval_day - 1);
+  const int start = std::max(changepoint, eval_day - adapt_.window_days);
+  service::RecordStore store;
+  for (const service::Record& r : eval_records(eval_day)) {
+    store.append(r);
+  }
+  const fault::SanitizeResult repaired =
+      store.to_trace_tolerant(config_.user, eval_day, config_.app_names);
+  const engine::TraceIndex seen(repaired.trace);
+  mining::HabitModel fresh =
+      mining::HabitModel::mine(seen, start, eval_day);
+  fresh.scale_confidence(repaired.report.quality());
+  fresh.scale_confidence(std::min(
+      1.0, static_cast<double>(eval_day - start) /
+               static_cast<double>(adapt_.confidence_ramp_days)));
+  if (fresh.training_days() >= policy_config_.robustness.min_training_days &&
+      fresh.overall_confidence() >=
+          policy_config_.robustness.min_confidence) {
+    policy_ = std::make_unique<policy::NetMasterPolicy>(
+        std::move(fresh), special_, policy_config_);
+    detector_.notify_adapted();
+    alarm_pending_ = false;
+    ++stats_.refreshes;
+    ++stats_.model_version;
+    refresh_gap_ = adapt_.min_refresh_gap_days;
+    cache_valid_ = false;
+    SessionMetrics::get().refreshes.add(1);
+  } else {
+    refresh_gap_ *= adapt_.backoff_factor;
+  }
+  next_refresh_day_ = eval_day + refresh_gap_;
+}
+
+std::vector<service::Record> UserSession::training_records() const {
+  std::vector<service::Record> out;
+  for (const service::Record& r : store_.all_records()) {
+    if (r.time >= train_end_) continue;
+    service::Record clipped = r;
+    if (clipped.kind == service::RecordKind::kNetworkActivity &&
+        clipped.time + clipped.duration > train_end_) {
+      // slice_days clips transfers at the slice edge; match it so the
+      // sanitizer sees the same training window the batch path mines.
+      clipped.duration = train_end_ - clipped.time;
+    }
+    out.push_back(clipped);
+  }
+  return out;
+}
+
+std::vector<service::Record> UserSession::eval_records(
+    int horizon_days) const {
+  const TimeMs hi = train_end_ + day_start(horizon_days);
+  std::vector<service::Record> out;
+  if (eval_screen_open_) {
+    // A session straddling the training boundary appears in the
+    // evaluation slice clipped to its start; re-open it at the epoch.
+    service::Record on;
+    on.kind = service::RecordKind::kScreenOn;
+    on.time = 0;
+    out.push_back(on);
+  }
+  for (const service::Record& r : store_.all_records()) {
+    if (r.time < train_end_ || r.time >= hi) continue;
+    service::Record shifted = r;
+    shifted.time -= train_end_;
+    out.push_back(shifted);
+  }
+  return out;
+}
+
+const ScheduleResult& UserSession::schedule() {
+  NM_REQUIRE(policy_ != nullptr,
+             "schedule requested before the training window completed");
+  if (cache_valid_ && cache_events_ == eval_events_ &&
+      cache_version_ == stats_.model_version) {
+    return cached_;
+  }
+  obs::SpanScope span("daemon.schedule");
+  service::RecordStore store;
+  for (const service::Record& r : eval_records(eval_days())) {
+    store.append(r);
+  }
+  const fault::SanitizeResult repaired =
+      store.to_trace_tolerant(config_.user, eval_days(),
+                              config_.app_names);
+  const engine::TraceIndex index(repaired.trace);
+  cached_.outcome = policy_->run(index);
+  cached_.model_version = stats_.model_version;
+  cached_.degraded = policy_->degraded();
+  cached_.degraded_reason = policy_->degraded_reason();
+  cache_valid_ = true;
+  cache_events_ = eval_events_;
+  cache_version_ = stats_.model_version;
+  return cached_;
+}
+
+}  // namespace netmaster::daemon

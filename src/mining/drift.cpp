@@ -79,7 +79,11 @@ DriftDetector::DriftDetector(DriftConfig config)
 
 void DriftDetector::observe_day(int day,
                                 const engine::TraceIndex& index) {
-  DayContribution today = IncrementalHabitMiner::summarize_day(day, index);
+  observe_summary(day,
+                  IncrementalHabitMiner::summarize_day(day, index));
+}
+
+void DriftDetector::observe_summary(int day, DayContribution today) {
   fast_.observe_summary(today);
   ++tick_;
   pending_.emplace_back(tick_, std::move(today));

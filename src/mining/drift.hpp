@@ -111,6 +111,12 @@ class DriftDetector {
   /// day-regime's divergence and Page–Hinkley state.
   void observe_day(int day, const engine::TraceIndex& index);
 
+  /// Same, from an already-summarized day (the streaming daemon builds
+  /// contributions from its 2-day reconstruction window instead of a
+  /// full-history index). `day` supplies the regime/changepoint day
+  /// number; `summary.kind` must match day_kind(day).
+  void observe_summary(int day, DayContribution summary);
+
   /// Seeds the detector with a whole history index (training window).
   void observe_index(const engine::TraceIndex& index);
 

@@ -1,0 +1,31 @@
+#include "net/clock.hpp"
+
+#include <thread>
+
+namespace netmaster::net {
+
+void RealClock::sleep_until_ns(ClockNs deadline) {
+  std::this_thread::sleep_until(epoch_ +
+                                std::chrono::nanoseconds(deadline));
+}
+
+ClockNs SimClock::now_ns() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return now_;
+}
+
+void SimClock::advance_to_ns(ClockNs t) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (t <= now_) return;
+    now_ = t;
+  }
+  cv_.notify_all();
+}
+
+void SimClock::wait_until_ns(ClockNs deadline) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return now_ >= deadline; });
+}
+
+}  // namespace netmaster::net

@@ -1,0 +1,102 @@
+// Virtual clock for the daemon layer.
+//
+// Everything under src/daemon/ that needs to *wait* or to *stamp* a
+// latency goes through a net::Clock instead of reading the wall clock
+// directly, so daemon tests and the load generator can run entirely in
+// deterministic sim-time. Two implementations:
+//
+//   RealClock — monotonic wall time (std::chrono::steady_clock) since
+//               construction; sleep really sleeps. The bench and the
+//               netmasterd binary use it.
+//   SimClock  — a manually-advanced virtual time; sleep_for advances
+//               the virtual time instantly (and wakes any thread
+//               blocked in wait_until). Tests use it so a "paced"
+//               load-generator run finishes in microseconds and
+//               produces the same event interleaving every run.
+//
+// The simulated *trace* time (TimeMs event timestamps) is a separate
+// axis: the daemon is event-driven and derives day boundaries from the
+// timestamps it ingests, never from this clock. The clock only paces
+// deliveries and stamps service latencies.
+//
+// Audit note (ROADMAP item 1 satellite): service/online_sim and the
+// rest of src/service/ contain no direct wall-clock reads — they are
+// pure trace-time simulators — so only the daemon layer needed the
+// abstraction.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/time.hpp"
+
+namespace netmaster::net {
+
+/// Nanoseconds since the clock's epoch (construction for RealClock,
+/// 0 for SimClock).
+using ClockNs = std::int64_t;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic nanoseconds since the clock's epoch.
+  virtual ClockNs now_ns() = 0;
+
+  /// Blocks the caller until now_ns() >= deadline (RealClock) or until
+  /// the virtual time is advanced past it (SimClock).
+  virtual void sleep_until_ns(ClockNs deadline) = 0;
+
+  void sleep_for_ns(ClockNs delta) { sleep_until_ns(now_ns() + delta); }
+};
+
+/// Monotonic wall time since construction.
+class RealClock final : public Clock {
+ public:
+  RealClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+  ClockNs now_ns() override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  void sleep_until_ns(ClockNs deadline) override;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Manually-advanced virtual time. Thread-safe: one thread may advance
+/// while others sleep. A sleep_until_ns from the *only* running thread
+/// advances the clock itself (time passes because someone waited on
+/// it), which is what makes single-threaded paced tests deterministic
+/// and instant.
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(ClockNs start = 0) : now_(start) {}
+
+  ClockNs now_ns() override;
+
+  /// Jumps the virtual time forward to `t` (no-op when in the past)
+  /// and wakes sleepers whose deadline passed.
+  void advance_to_ns(ClockNs t);
+
+  /// sleep == advance: the virtual time immediately reaches the
+  /// deadline. Multi-threaded users that want a sleeper to genuinely
+  /// block must drive advance_to_ns from another thread and use
+  /// wait_until_ns instead.
+  void sleep_until_ns(ClockNs deadline) override { advance_to_ns(deadline); }
+
+  /// Blocks until another thread advances the clock past `deadline`.
+  void wait_until_ns(ClockNs deadline);
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  ClockNs now_ = 0;
+};
+
+}  // namespace netmaster::net

@@ -1,0 +1,146 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace netmaster::net {
+
+namespace {
+
+[[noreturn]] void raise_errno(const char* what) {
+  throw Error(std::string("net: ") + what + ": " +
+              std::strerror(errno));
+}
+
+}  // namespace
+
+TcpStream& TcpStream::operator=(TcpStream&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+TcpStream TcpStream::connect(const std::string& host,
+                             std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) raise_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw Error("net: bad IPv4 address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    raise_errno("connect");
+  }
+  // The protocol is small request/response lines; latency beats
+  // batching.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpStream(fd);
+}
+
+void TcpStream::send_all(const char* data, std::size_t len) {
+  NM_REQUIRE(valid(), "send on a closed stream");
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n =
+        ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      raise_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::size_t TcpStream::recv_some(char* data, std::size_t len) {
+  NM_REQUIRE(valid(), "recv on a closed stream");
+  while (true) {
+    const ssize_t n = ::recv(fd_, data, len, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // A peer that vanished mid-conversation reads as EOF, not a
+      // daemon-side failure.
+      if (errno == ECONNRESET) return 0;
+      raise_errno("recv");
+    }
+    return static_cast<std::size_t>(n);
+  }
+}
+
+void TcpStream::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) raise_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int fd = fd_;
+    fd_ = -1;
+    ::close(fd);
+    raise_errno("bind");
+  }
+  if (::listen(fd_, 64) != 0) {
+    const int fd = fd_;
+    fd_ = -1;
+    ::close(fd);
+    raise_errno("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    raise_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpStream TcpListener::accept() {
+  while (true) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return TcpStream(fd);
+    }
+    if (errno == EINTR) continue;
+    // close() from another thread invalidates fd_ — orderly shutdown.
+    return TcpStream();
+  }
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    const int fd = fd_;
+    fd_ = -1;
+    // shutdown() first so a thread blocked in accept() wakes up.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+}  // namespace netmaster::net

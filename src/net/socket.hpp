@@ -1,0 +1,79 @@
+// Small portable socket layer (POSIX TCP) for the netmasterd wire
+// front-end.
+//
+// RAII wrappers around loopback/TCP stream sockets: a TcpListener
+// binds (port 0 picks an ephemeral port — tests and the bench use
+// this), accept() yields connected TcpStreams, and TcpStream moves
+// bytes. Line framing lives one layer up (net/transport.hpp); this
+// file is only file descriptors and syscalls, so everything above it
+// can also run over the in-process transport with no socket at all.
+//
+// Errors are netmaster::Error with errno context; EOF is a value
+// (recv returning 0), not an error.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace netmaster::net {
+
+/// A connected TCP byte stream. Move-only; closes on destruction.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  /// Adopts an already-connected descriptor (listener side).
+  explicit TcpStream(int fd) : fd_(fd) {}
+  ~TcpStream() { close(); }
+
+  TcpStream(TcpStream&& other) noexcept : fd_(other.fd_) {
+    other.fd_ = -1;
+  }
+  TcpStream& operator=(TcpStream&& other) noexcept;
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+
+  /// Connects to host:port (numeric IPv4 host, e.g. "127.0.0.1").
+  static TcpStream connect(const std::string& host, std::uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// Writes the whole buffer (loops over partial sends). Throws on a
+  /// closed/failed peer.
+  void send_all(const char* data, std::size_t len);
+
+  /// Reads at most `len` bytes; returns 0 on orderly peer shutdown.
+  std::size_t recv_some(char* data, std::size_t len);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket bound to 127.0.0.1.
+class TcpListener {
+ public:
+  /// Binds and listens; `port` 0 picks an ephemeral port (read it back
+  /// with port()).
+  explicit TcpListener(std::uint16_t port);
+  ~TcpListener() { close(); }
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// The actually-bound port.
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks for the next connection. Returns an invalid stream when
+  /// the listener was closed from another thread (orderly shutdown).
+  TcpStream accept();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace netmaster::net

@@ -1,0 +1,102 @@
+#include "net/transport.hpp"
+
+#include "common/error.hpp"
+
+namespace netmaster::net {
+
+bool SocketConnection::read_line(std::string& line) {
+  while (true) {
+    const auto nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      line.assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return true;
+    }
+    if (!stream_.valid()) return false;
+    char chunk[4096];
+    const std::size_t n = stream_.recv_some(chunk, sizeof(chunk));
+    if (n == 0) {
+      // Orderly close; a trailing unterminated fragment is dropped —
+      // the protocol is strictly line-framed.
+      return false;
+    }
+    buffer_.append(chunk, n);
+  }
+}
+
+void SocketConnection::write_line(const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  stream_.send_all(framed.data(), framed.size());
+}
+
+std::unique_ptr<Connection> SocketListener::accept() {
+  TcpStream stream = listener_.accept();
+  if (!stream.valid()) return nullptr;
+  return std::make_unique<SocketConnection>(std::move(stream));
+}
+
+bool LineQueue::push(const std::string& line) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return closed_ || lines_.size() < capacity_; });
+  if (closed_) return false;
+  lines_.push_back(line);
+  lock.unlock();
+  cv_.notify_all();
+  return true;
+}
+
+bool LineQueue::pop(std::string& line) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return closed_ || !lines_.empty(); });
+  if (lines_.empty()) return false;  // closed and drained
+  line = std::move(lines_.front());
+  lines_.pop_front();
+  lock.unlock();
+  cv_.notify_all();
+  return true;
+}
+
+void LineQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::unique_ptr<Connection> LocalListener::connect() {
+  auto to_server = std::make_shared<LineQueue>();
+  auto to_client = std::make_shared<LineQueue>();
+  auto client =
+      std::make_unique<LocalConnection>(to_client, to_server);
+  auto server =
+      std::make_unique<LocalConnection>(to_server, to_client);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    NM_REQUIRE(!closed_, "connect on a closed LocalListener");
+    pending_.push_back(std::move(server));
+  }
+  cv_.notify_all();
+  return client;
+}
+
+std::unique_ptr<Connection> LocalListener::accept() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return closed_ || !pending_.empty(); });
+  if (pending_.empty()) return nullptr;
+  auto conn = std::move(pending_.front());
+  pending_.pop_front();
+  return conn;
+}
+
+void LocalListener::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace netmaster::net

@@ -1,0 +1,147 @@
+// Line-framed connection transports.
+//
+// The daemon speaks a line-delimited protocol (net/protocol.hpp) over
+// an abstract Connection: read_line blocks for the next '\n'-terminated
+// request, write_line sends one response. Two implementations:
+//
+//   SocketConnection — buffered line framing over a TcpStream (the
+//                      wire front-end);
+//   LocalConnection  — a pair of in-process bounded queues, so tests
+//                      and benches drive the daemon with zero sockets
+//                      and zero syscalls (the csp-channel idiom).
+//
+// Matching Listener implementations let Netmasterd::serve() accept
+// from either world through one interface. All blocking calls return
+// cleanly (read_line -> false) when the peer closes, so serve loops
+// need no special shutdown signalling beyond closing connections.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "net/socket.hpp"
+
+namespace netmaster::net {
+
+/// One bidirectional line-framed conversation.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Blocks for the next line (without the trailing '\n'). Returns
+  /// false on orderly peer close / transport shutdown.
+  virtual bool read_line(std::string& line) = 0;
+
+  /// Sends one line ('\n' appended).
+  virtual void write_line(const std::string& line) = 0;
+
+  /// Closes both directions; pending and future reads return false.
+  virtual void close() = 0;
+};
+
+/// Accept source for Netmasterd::serve().
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Blocks for the next connection; nullptr when the listener was
+  /// closed (serve loops exit then).
+  virtual std::unique_ptr<Connection> accept() = 0;
+
+  virtual void close() = 0;
+};
+
+/// Line framing over a TCP stream.
+class SocketConnection final : public Connection {
+ public:
+  explicit SocketConnection(TcpStream stream)
+      : stream_(std::move(stream)) {}
+
+  bool read_line(std::string& line) override;
+  void write_line(const std::string& line) override;
+  void close() override { stream_.close(); }
+
+ private:
+  TcpStream stream_;
+  std::string buffer_;  ///< bytes received but not yet consumed
+};
+
+/// Listener over a bound TCP socket.
+class SocketListener final : public Listener {
+ public:
+  /// Port 0 binds an ephemeral port (see port()).
+  explicit SocketListener(std::uint16_t port) : listener_(port) {}
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  std::unique_ptr<Connection> accept() override;
+  void close() override { listener_.close(); }
+
+ private:
+  TcpListener listener_;
+};
+
+/// One direction of an in-process connection: a bounded line queue.
+/// close() wakes both producers and consumers.
+class LineQueue {
+ public:
+  explicit LineQueue(std::size_t capacity = 1024)
+      : capacity_(capacity) {}
+
+  /// Blocks while full; returns false when closed.
+  bool push(const std::string& line);
+  /// Blocks while empty; returns false when closed *and* drained.
+  bool pop(std::string& line);
+  void close();
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::string> lines_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+/// In-process connection endpoint: reads from one queue, writes the
+/// other. Created in pairs by LocalListener::connect().
+class LocalConnection final : public Connection {
+ public:
+  LocalConnection(std::shared_ptr<LineQueue> in,
+                  std::shared_ptr<LineQueue> out)
+      : in_(std::move(in)), out_(std::move(out)) {}
+
+  bool read_line(std::string& line) override { return in_->pop(line); }
+  void write_line(const std::string& line) override { out_->push(line); }
+  void close() override {
+    in_->close();
+    out_->close();
+  }
+
+ private:
+  std::shared_ptr<LineQueue> in_;
+  std::shared_ptr<LineQueue> out_;
+};
+
+/// In-process accept source. A client calls connect() and gets its end
+/// of a fresh connection; the serving side's accept() returns the
+/// other end.
+class LocalListener final : public Listener {
+ public:
+  /// Client side: creates a connection pair and queues the server end
+  /// for accept(). Throws when the listener is closed.
+  std::unique_ptr<Connection> connect();
+
+  std::unique_ptr<Connection> accept() override;
+  void close() override;
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<Connection>> pending_;
+  bool closed_ = false;
+};
+
+}  // namespace netmaster::net

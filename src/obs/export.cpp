@@ -13,16 +13,14 @@
 
 namespace netmaster::obs {
 
-namespace {
-
-/// JSON-safe number formatting: finite shortest-round-trip doubles;
-/// NaN/inf (legal in C++ metrics, illegal in JSON) become null.
 std::string json_number(double v) {
   if (!std::isfinite(v)) return "null";
   std::ostringstream os;
   os << std::setprecision(15) << v;
   return os.str();
 }
+
+namespace {
 
 void write_histogram_fields(const Histogram& h, std::ostream& os) {
   os << "\"count\":" << h.count() << ",\"sum\":" << json_number(h.sum())

@@ -18,6 +18,12 @@ namespace netmaster::obs {
 /// (backslash, quote, and control characters).
 std::string json_escape(const std::string& s);
 
+/// Formats a double as a JSON value: finite values round-trip at 15
+/// significant digits; NaN/inf (legal in C++ metrics, illegal in JSON)
+/// become null. Every double the exporters emit goes through this —
+/// use it for any hand-rolled JSON too (see bench/bench_common.hpp).
+std::string json_number(double v);
+
 /// One metric per line:
 ///   {"type":"counter","name":...,"value":...}
 ///   {"type":"gauge","name":...,"value":...}

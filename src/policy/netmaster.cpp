@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -69,6 +70,20 @@ NetMasterPolicy::NetMasterPolicy(const UserTrace& training,
     : config_(config),
       predictor_(mining::HabitModel::mine(training), config.predictor),
       special_(mining::SpecialApps::detect(training)) {
+  validate_and_gate();
+}
+
+NetMasterPolicy::NetMasterPolicy(mining::HabitModel model,
+                                 mining::SpecialApps special,
+                                 NetMasterConfig config)
+    : config_(config),
+      predictor_(std::move(model), config.predictor),
+      special_(std::move(special)) {
+  validate_and_gate();
+}
+
+void NetMasterPolicy::validate_and_gate() {
+  const NetMasterConfig& config = config_;
   NM_REQUIRE(config.eps > 0.0 && config.eps < 1.0,
              "eps must be in (0, 1)");
   NM_REQUIRE(config.robustness.min_confidence >= 0.0 &&

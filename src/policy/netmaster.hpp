@@ -100,6 +100,16 @@ class NetMasterPolicy final : public Policy {
   /// multiples of 7 days so Eq. 2's weekday/weekend split stays valid).
   NetMasterPolicy(const UserTrace& training, NetMasterConfig config);
 
+  /// Model-injection construction: runs on an externally-mined model
+  /// and special-app set instead of mining a training trace. This is
+  /// the daemon/online path — IncrementalHabitMiner::snapshot() and a
+  /// SpecialApps detected from the reconstructed history plug straight
+  /// in, through the same validation and degradation gate. With the
+  /// model mined from the same trace, both constructors produce
+  /// bit-identical policies.
+  NetMasterPolicy(mining::HabitModel model, mining::SpecialApps special,
+                  NetMasterConfig config);
+
   using Policy::run;
 
   std::string name() const override { return "netmaster"; }
@@ -115,6 +125,10 @@ class NetMasterPolicy final : public Policy {
   const std::string& degraded_reason() const { return degraded_reason_; }
 
  private:
+  /// Shared tail of both constructors: config validation plus the
+  /// degradation gate (sets degraded_reason_, bumps metrics).
+  void validate_and_gate();
+
   NetMasterConfig config_;
   mining::SlotPredictor predictor_;
   mining::SpecialApps special_;

@@ -4,6 +4,7 @@
 // and the online re-mine-on-drift adaptation loop.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdio>
 #include <vector>
 
@@ -116,6 +117,120 @@ TEST(IncrementalMiner, DecayShiftsEstimatesTowardRecentDays) {
             plain.pr_active(mining::DayKind::kWeekday, 23));
   EXPECT_LT(decayed.pr_active(mining::DayKind::kWeekday, 10),
             plain.pr_active(mining::DayKind::kWeekday, 10));
+}
+
+TEST(IncrementalMiner, DuplicateDayFoldsLeaveDecayZeroEstimatesExact) {
+  // The streaming daemon promises at-most-once folds; this pins down
+  // what a violation would do: a duplicated day doubles the evidence
+  // weight but (at decay 0) leaves every estimate bit-identical,
+  // because sums and weight scale by exactly the same power of two.
+  const UserTrace trace = synth::generate_trace(
+      synth::make_user(synth::Archetype::kCommuter, 3), 7, 5);
+  const engine::TraceIndex index(trace);
+  const auto day = mining::IncrementalHabitMiner::summarize_day(1, index);
+
+  mining::IncrementalHabitMiner once;
+  once.observe_summary(day);
+  mining::IncrementalHabitMiner twice;
+  twice.observe_summary(day);
+  twice.observe_summary(day);
+
+  EXPECT_EQ(twice.days_observed(day.kind), 2);
+  EXPECT_EQ(twice.effective_days(day.kind), 2.0);
+  for (int h = 0; h < kHoursPerDay; ++h) {
+    EXPECT_EQ(twice.pr_active(day.kind, h), once.pr_active(day.kind, h))
+        << "h" << h;
+    EXPECT_EQ(twice.pr_net(day.kind, h), once.pr_net(day.kind, h))
+        << "h" << h;
+    EXPECT_EQ(twice.mean_intensity(day.kind, h),
+              once.mean_intensity(day.kind, h))
+        << "h" << h;
+  }
+}
+
+TEST(IncrementalMiner, OutOfOrderFoldsAgreeAtDecayZero) {
+  // Decay-0 counters are plain sums, so fold order only moves rounding
+  // in the last ulp — day counts are exact and estimates agree to a
+  // tight relative tolerance.
+  const UserTrace trace = synth::generate_trace(
+      synth::make_user(synth::Archetype::kStudent, 4), 7, 11);
+  const engine::TraceIndex index(trace);
+
+  mining::IncrementalHabitMiner forward;
+  for (int d = 0; d < 7; ++d) forward.observe_day(d, index);
+  mining::IncrementalHabitMiner shuffled;
+  for (const int d : {4, 0, 6, 2, 5, 1, 3}) {
+    shuffled.observe_day(d, index);
+  }
+
+  EXPECT_EQ(shuffled.days_observed(), forward.days_observed());
+  for (const mining::DayKind kind :
+       {mining::DayKind::kWeekday, mining::DayKind::kWeekend}) {
+    EXPECT_EQ(shuffled.effective_days(kind), forward.effective_days(kind));
+    for (int h = 0; h < kHoursPerDay; ++h) {
+      EXPECT_NEAR(shuffled.pr_active(kind, h), forward.pr_active(kind, h),
+                  1e-12)
+          << "h" << h;
+      EXPECT_NEAR(shuffled.mean_intensity(kind, h),
+                  forward.mean_intensity(kind, h), 1e-9)
+          << "h" << h;
+    }
+  }
+}
+
+TEST(IncrementalMiner, AdoptCountersCopiesStateAcrossDecayConfigs) {
+  const UserTrace trace = synth::generate_trace(
+      synth::make_user(synth::Archetype::kHeavyMessenger, 5), 14, 13);
+  const engine::TraceIndex index(trace);
+
+  mining::IncrementalHabitMiner source({0.2});
+  source.observe_index(index);
+  mining::IncrementalHabitMiner sink({0.05});
+  sink.observe_day(0, index);  // pre-existing state must be replaced
+
+  sink.adopt_counters(source);
+  // The adopted counters are a verbatim copy; only the decay config
+  // (future folds) differs.
+  EXPECT_EQ(sink.config().decay, 0.05);
+  EXPECT_EQ(sink.days_observed(), source.days_observed());
+  for (const mining::DayKind kind :
+       {mining::DayKind::kWeekday, mining::DayKind::kWeekend}) {
+    EXPECT_EQ(sink.effective_days(kind), source.effective_days(kind));
+    for (int h = 0; h < kHoursPerDay; ++h) {
+      EXPECT_EQ(sink.pr_active(kind, h), source.pr_active(kind, h));
+      EXPECT_EQ(sink.pr_net(kind, h), source.pr_net(kind, h));
+      EXPECT_EQ(sink.mean_intensity(kind, h),
+                source.mean_intensity(kind, h));
+    }
+  }
+}
+
+TEST(IncrementalMiner, RescaleWeightsMovesInertiaNotEstimates) {
+  const UserTrace trace = synth::generate_trace(
+      synth::make_user(synth::Archetype::kRetiree, 6), 14, 17);
+  const engine::TraceIndex index(trace);
+
+  mining::IncrementalHabitMiner miner;
+  miner.observe_index(index);
+  std::array<double, kHoursPerDay> before{};
+  for (int h = 0; h < kHoursPerDay; ++h) {
+    before[h] = miner.pr_active(mining::DayKind::kWeekday, h);
+  }
+
+  miner.rescale_weights(30.0);
+  EXPECT_DOUBLE_EQ(miner.effective_days(mining::DayKind::kWeekday), 30.0);
+  EXPECT_DOUBLE_EQ(miner.effective_days(mining::DayKind::kWeekend), 30.0);
+  for (int h = 0; h < kHoursPerDay; ++h) {
+    // Ratios survive the common rescale up to rounding.
+    EXPECT_DOUBLE_EQ(miner.pr_active(mining::DayKind::kWeekday, h),
+                     before[h])
+        << "h" << h;
+  }
+
+  // An empty miner has nothing to rescale: weights stay zero.
+  mining::IncrementalHabitMiner empty;
+  empty.rescale_weights(30.0);
+  EXPECT_EQ(empty.effective_days(mining::DayKind::kWeekday), 0.0);
 }
 
 TEST(IncrementalMiner, RejectsInvalidConfig) {

@@ -4,9 +4,11 @@
 // and the end-to-end fleet snapshot via NETMASTER_METRICS_OUT.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cmath>
 #include <cstdlib>
 #include <filesystem>
+#include <limits>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -247,6 +249,200 @@ TEST(ObsExport, JsonObjectAndTableRender) {
   std::ostringstream table;
   print_table(reg, table);
   EXPECT_NE(table.str().find('c'), std::string::npos);
+}
+
+// ---- JSON validity under hostile names and values. -------------------
+
+namespace {
+
+// Minimal recursive-descent JSON checker: accepts exactly the RFC 8259
+// grammar the exporters are supposed to emit (no NaN/Infinity tokens,
+// no raw control characters, balanced structure). Returns true when
+// `text` is one complete JSON value.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') return ++pos_, true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') return ++pos_, true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') return ++pos_, true;
+      if (c < 0x20) return false;  // raw control char: invalid
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) ==
+                   std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_ - 1]));
+  }
+
+  bool literal(const std::string& word) {
+    if (s_.compare(pos_, word.size(), word) != 0) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+bool is_valid_json(const std::string& text) {
+  return JsonChecker(text).valid();
+}
+
+}  // namespace
+
+TEST(ObsExport, JsonNumberHandlesNonFiniteValues) {
+  EXPECT_EQ(json_number(std::nan("")), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(1.5), "1.5");
+  EXPECT_TRUE(is_valid_json(json_number(1e300)));
+  EXPECT_TRUE(is_valid_json(json_number(-0.25)));
+}
+
+TEST(ObsExport, HostileNamesAndValuesStayValidJson) {
+  Registry reg;
+  // Names with every character class json_escape must handle.
+  reg.counter("quote\"back\\slash").add(1);
+  reg.gauge("ctrl\x01\ttab\nnewline").set(
+      std::numeric_limits<double>::infinity());
+  reg.gauge("nan gauge").set(std::nan(""));
+  reg.histogram("h\"ist", {1.0}).add(0.5);
+  {
+    SpanScope s(reg, "span\\name\"x");
+  }
+  flush_thread_spans();
+
+  std::ostringstream object;
+  write_json_object(reg, object);
+  EXPECT_TRUE(is_valid_json(object.str())) << object.str();
+  // Non-finite gauges must surface as null, never as bare inf/nan
+  // tokens (the "+inf" bucket label is a quoted string, not a token).
+  EXPECT_NE(object.str().find(":null"), std::string::npos);
+  EXPECT_EQ(object.str().find(":inf"), std::string::npos);
+  EXPECT_EQ(object.str().find(":-inf"), std::string::npos);
+  EXPECT_EQ(object.str().find(":nan"), std::string::npos);
+
+  std::ostringstream jsonl;
+  write_jsonl(reg, jsonl);
+  std::istringstream is(jsonl.str());
+  std::string line;
+  int lines = 0;
+  while (std::getline(is, line)) {
+    ++lines;
+    EXPECT_TRUE(is_valid_json(line)) << line;
+  }
+  EXPECT_EQ(lines, 5);
 }
 
 TEST(ObsExport, EnvExportDisabledWhenUnset) {
