@@ -110,6 +110,9 @@ void Netmasterd::close_connections() {
     listener = listener_;
   }
   if (listener != nullptr) listener->close();
+  // close() only wakes each connection's blocked reader (the socket
+  // transport defers releasing the descriptor); the workers then wind
+  // down and reap themselves, and serve() waits for the last of them.
   for (auto& conn : open) conn->close();
 }
 
@@ -190,7 +193,6 @@ void Netmasterd::serve(net::Listener& listener) {
   }
   if (shutdown_.load()) listener.close();
 
-  std::vector<std::thread> workers;
   while (std::unique_ptr<net::Connection> accepted = listener.accept()) {
     std::shared_ptr<net::Connection> conn = std::move(accepted);
     {
@@ -200,25 +202,42 @@ void Netmasterd::serve(net::Listener& listener) {
         break;
       }
       connections_.push_back(conn);
+      ++active_workers_;
     }
-    workers.emplace_back([this, conn] {
+    // Detached: each worker reaps itself when its conversation ends —
+    // prunes its connection entry and signals the wait below — so a
+    // long-lived daemon holds state only for live connections instead
+    // of accumulating finished threads until serve() exits.
+    std::thread([this, conn] {
       std::string line;
-      while (conn->read_line(line)) {
-        bool stop = false;
-        conn->write_line(handle_line(line, &stop));
-        if (stop) {
-          shutdown();  // closes the listener and every connection
-          break;
+      try {
+        while (conn->read_line(line)) {
+          bool stop = false;
+          conn->write_line(handle_line(line, &stop));
+          if (stop) {
+            shutdown();  // closes the listener and every connection
+            break;
+          }
         }
+      } catch (const std::exception&) {
+        // A peer vanishing mid-write tears down this conversation,
+        // never the daemon.
       }
       conn->close();
-    });
+      {
+        std::lock_guard<std::mutex> lock(serve_mutex_);
+        std::erase(connections_, conn);
+        --active_workers_;
+        // Under the lock: once the waiter in serve() observes zero
+        // workers the daemon may be destroyed, so the notify must not
+        // touch the condition variable after that.
+        serve_cv_.notify_all();
+      }
+    }).detach();
   }
-  for (std::thread& worker : workers) worker.join();
-  {
-    std::lock_guard<std::mutex> lock(serve_mutex_);
-    listener_ = nullptr;
-  }
+  std::unique_lock<std::mutex> lock(serve_mutex_);
+  serve_cv_.wait(lock, [&] { return active_workers_ == 0; });
+  listener_ = nullptr;
 }
 
 }  // namespace netmaster::daemon

@@ -23,8 +23,10 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -85,8 +87,11 @@ class Netmasterd {
 
   /// Accept loop: serves connections (one thread each) until the
   /// listener closes — which shutdown() triggers, including via an
-  /// in-band `shutdown` request. Blocks; run it on its own thread for
-  /// a concurrently-driven daemon.
+  /// in-band `shutdown` request. Connection workers reap themselves
+  /// when their conversation ends (no per-connection state outlives
+  /// the peer), and serve() returns only after the last worker has
+  /// finished. Blocks; run it on its own thread for a
+  /// concurrently-driven daemon.
   void serve(net::Listener& listener);
 
  private:
@@ -98,7 +103,11 @@ class Netmasterd {
   std::atomic<bool> shutdown_{false};
 
   std::mutex serve_mutex_;
+  std::condition_variable serve_cv_;  ///< signals worker exits
+  std::size_t active_workers_ = 0;
   net::Listener* listener_ = nullptr;
+  /// Connections with a live worker; each worker removes its own
+  /// entry on exit, shutdown() wakes them all via close().
   std::vector<std::shared_ptr<net::Connection>> connections_;
 };
 

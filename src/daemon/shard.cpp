@@ -14,6 +14,10 @@ namespace {
 struct ShardMetrics {
   obs::Counter& ingested;
   obs::Counter& dropped;
+  /// Commands enqueued across *all* shards: every post adds one, every
+  /// worker subtracts the batch it drained. Deltas, not set() — a
+  /// last-writer-wins snapshot of one shard's size is meaningless once
+  /// num_shards > 1.
   obs::Gauge& queue_depth;
 
   static ShardMetrics& get() {
@@ -62,8 +66,7 @@ void Shard::post(Command command) {
                  [&] { return stopping_ || queue_.size() < capacity_; });
   NM_REQUIRE(!stopping_, "command posted to a stopped shard");
   queue_.push_back(std::move(command));
-  ShardMetrics::get().queue_depth.set(
-      static_cast<double>(queue_.size()));
+  ShardMetrics::get().queue_depth.add(1.0);
   lock.unlock();
   not_empty_.notify_one();
 }
@@ -134,7 +137,8 @@ void Shard::run() {
       // Take the whole backlog in one swap: commands apply lock-free
       // and in order, producers get a burst of fresh capacity.
       batch.swap(queue_);
-      ShardMetrics::get().queue_depth.set(0.0);
+      ShardMetrics::get().queue_depth.add(
+          -static_cast<double>(batch.size()));
     }
     not_full_.notify_all();
     for (Command& command : batch) apply(command);

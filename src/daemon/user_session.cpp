@@ -72,7 +72,16 @@ void UserSession::ingest(const service::Record& record) {
     // at-most-once fold discipline never re-folds a completed day.
     ++stats_.late_events;
     SessionMetrics::get().late.add(1);
-    if (!stats_.finished && record.time >= 0) store_.append(record);
+    if (!stats_.finished && record.time >= 0) {
+      store_.append(record);
+      if (record.time >= train_end_ && day < config_.num_days) {
+        // The record lands inside the evaluation horizon, so the next
+        // schedule() reconstruction includes it — count it into the
+        // cache key and drop the schedule computed without it.
+        ++eval_events_;
+        cache_valid_ = false;
+      }
+    }
     return;
   }
   if (day > current_day_) fold_through(day);

@@ -7,7 +7,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/error.hpp"
 
@@ -25,8 +27,7 @@ namespace {
 TcpStream& TcpStream::operator=(TcpStream&& other) noexcept {
   if (this != &other) {
     close();
-    fd_ = other.fd_;
-    other.fd_ = -1;
+    fd_.store(other.fd_.exchange(-1));
   }
   return *this;
 }
@@ -55,11 +56,12 @@ TcpStream TcpStream::connect(const std::string& host,
 }
 
 void TcpStream::send_all(const char* data, std::size_t len) {
-  NM_REQUIRE(valid(), "send on a closed stream");
+  const int fd = fd_.load(std::memory_order_relaxed);
+  NM_REQUIRE(fd >= 0, "send on a closed stream");
   std::size_t sent = 0;
   while (sent < len) {
     const ssize_t n =
-        ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+        ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       raise_errno("send");
@@ -69,9 +71,10 @@ void TcpStream::send_all(const char* data, std::size_t len) {
 }
 
 std::size_t TcpStream::recv_some(char* data, std::size_t len) {
-  NM_REQUIRE(valid(), "recv on a closed stream");
+  const int fd = fd_.load(std::memory_order_relaxed);
+  NM_REQUIRE(fd >= 0, "recv on a closed stream");
   while (true) {
-    const ssize_t n = ::recv(fd_, data, len, 0);
+    const ssize_t n = ::recv(fd, data, len, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
       // A peer that vanished mid-conversation reads as EOF, not a
@@ -83,10 +86,19 @@ std::size_t TcpStream::recv_some(char* data, std::size_t len) {
   }
 }
 
+void TcpStream::shutdown() noexcept {
+  const int fd = fd_.load(std::memory_order_relaxed);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
 void TcpStream::close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    // shutdown() first so a thread racing into recv/send on the old
+    // descriptor observes EOF rather than hanging (mirrors
+    // TcpListener::close()).
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 
@@ -101,15 +113,11 @@ TcpListener::TcpListener(std::uint16_t port) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
       0) {
-    const int fd = fd_;
-    fd_ = -1;
-    ::close(fd);
+    ::close(fd_.exchange(-1));
     raise_errno("bind");
   }
   if (::listen(fd_, 64) != 0) {
-    const int fd = fd_;
-    fd_ = -1;
-    ::close(fd);
+    ::close(fd_.exchange(-1));
     raise_errno("listen");
   }
   socklen_t len = sizeof(addr);
@@ -121,22 +129,40 @@ TcpListener::TcpListener(std::uint16_t port) {
 
 TcpStream TcpListener::accept() {
   while (true) {
-    const int fd = ::accept(fd_, nullptr, nullptr);
+    const int lfd = fd_.load(std::memory_order_relaxed);
+    if (lfd < 0) return TcpStream();  // closed — orderly shutdown
+    const int fd = ::accept(lfd, nullptr, nullptr);
     if (fd >= 0) {
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       return TcpStream(fd);
     }
-    if (errno == EINTR) continue;
-    // close() from another thread invalidates fd_ — orderly shutdown.
-    return TcpStream();
+    switch (errno) {
+      case EINTR:
+      case ECONNABORTED:  // peer gave up between SYN and accept
+        continue;
+      case EMFILE:
+      case ENFILE:
+      case ENOBUFS:
+      case ENOMEM:
+        // Resource exhaustion is transient under load; back off
+        // instead of permanently abandoning the accept loop.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      case EBADF:
+      case EINVAL:
+        // close() from another thread invalidated the descriptor —
+        // orderly shutdown.
+        return TcpStream();
+      default:
+        raise_errno("accept");
+    }
   }
 }
 
 void TcpListener::close() {
-  if (fd_ >= 0) {
-    const int fd = fd_;
-    fd_ = -1;
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
     // shutdown() first so a thread blocked in accept() wakes up.
     ::shutdown(fd, SHUT_RDWR);
     ::close(fd);

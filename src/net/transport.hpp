@@ -62,7 +62,12 @@ class SocketConnection final : public Connection {
 
   bool read_line(std::string& line) override;
   void write_line(const std::string& line) override;
-  void close() override { stream_.close(); }
+  /// Shuts the socket down (a thread blocked in read_line wakes and
+  /// returns false) but defers releasing the descriptor to the
+  /// destructor — by then no thread can still be inside recv on it,
+  /// so the kernel cannot hand the number to a new socket underneath
+  /// a blocked reader. This makes close() safe from any thread.
+  void close() override { stream_.shutdown(); }
 
  private:
   TcpStream stream_;

@@ -255,6 +255,29 @@ TEST(DaemonProtocol, EndToEndOverTcpLoopback) {
   server.join();
 }
 
+TEST(DaemonProtocol, ShutdownUnblocksIdleTcpConnections) {
+  Netmasterd daemon;
+  net::SocketListener listener(0);
+  std::thread server([&] { daemon.serve(listener); });
+
+  // An idle connection whose worker sits blocked in recv...
+  net::SocketConnection idle(
+      net::TcpStream::connect("127.0.0.1", listener.port()));
+  idle.write_line("stats");
+  std::string reply;
+  ASSERT_TRUE(idle.read_line(reply));
+
+  // ...must not keep serve() from joining after an in-band shutdown:
+  // closing the connection has to wake its blocked worker.
+  net::SocketConnection control(
+      net::TcpStream::connect("127.0.0.1", listener.port()));
+  control.write_line("shutdown");
+  ASSERT_TRUE(control.read_line(reply));
+  EXPECT_EQ(reply, "ok shutting down");
+  server.join();
+  EXPECT_FALSE(idle.read_line(reply));
+}
+
 // ---- Shard queue semantics. ------------------------------------------
 
 TEST(DaemonQueue, TinyQueueBackpressureStillProcessesEverything) {
@@ -310,6 +333,56 @@ TEST(DaemonQueue, LateEventsAreCountedNotRefolded) {
   // one quiet week is thin evidence, but never an error).
   const ScheduleResult result = daemon.schedule(7);
   EXPECT_EQ(result.model_version, 1);
+}
+
+TEST(DaemonQueue, LateEvalRecordInvalidatesCachedSchedule) {
+  // A record for an already-folded *evaluation* day still lands in the
+  // schedule() reconstruction, so a schedule cached before it arrived
+  // must not survive it. Compare against a daemon that saw the same
+  // record in order: both stores end up identical, so both daemons
+  // must serve the same schedule bit for bit.
+  LoadConfig load;
+  load.users = 1;
+  const LoadPlan plan = build_load_plan(load);
+  const TimeMs train_end = day_start(load.train_days);
+  const TimeMs last_day = day_start(load.train_days + load.eval_days - 1);
+
+  // Withhold one eval-window net record from before the last day, so
+  // delivering it after the full stream makes it late (day folded).
+  std::size_t withheld = plan.events.size();
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    const service::Record& r = plan.events[i].record;
+    if (r.kind == service::RecordKind::kNetworkActivity &&
+        r.time >= train_end && r.time < last_day) {
+      withheld = i;
+      break;
+    }
+  }
+  ASSERT_LT(withheld, plan.events.size());
+
+  // Adaptation off: the daemons' eval folds differ by the withheld
+  // record, and this test pins the reconstruction, not the detector.
+  DaemonConfig config;
+  config.adapt.enable = false;
+  Netmasterd in_order(config);
+  Netmasterd late(config);
+  const UserId user = plan.users[0].session.user;
+  in_order.add_user(plan.users[0].session);
+  late.add_user(plan.users[0].session);
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    in_order.ingest(plan.events[i].user, plan.events[i].record);
+    if (i != withheld) {
+      late.ingest(plan.events[i].user, plan.events[i].record);
+    }
+  }
+  const ScheduleResult expected = in_order.schedule(user);
+  late.schedule(user);  // warm the cache without the withheld record
+  late.ingest(plan.events[withheld].user, plan.events[withheld].record);
+
+  const DaemonStats stats = late.stats();
+  EXPECT_EQ(stats.totals.late_events, 1u);
+  expect_outcomes_bitwise_equal(late.schedule(user).outcome,
+                                expected.outcome, "late eval record");
 }
 
 TEST(DaemonQueue, ShutdownIsIdempotentAndRejectsFurtherWork) {

@@ -150,6 +150,29 @@ TEST(NetTransport, TcpLoopbackLineRoundTrip) {
   listener.close();
 }
 
+TEST(NetTransport, ClosingTcpConnectionUnblocksBlockedReader) {
+  SocketListener listener(0);
+  std::thread server([&] {
+    std::unique_ptr<Connection> conn = listener.accept();
+    ASSERT_TRUE(conn);
+    std::string line;
+    EXPECT_FALSE(conn->read_line(line));  // woken by the client close
+  });
+
+  auto client = std::make_shared<SocketConnection>(
+      TcpStream::connect("127.0.0.1", listener.port()));
+  std::thread reader([client] {
+    std::string line;
+    EXPECT_FALSE(client->read_line(line));
+  });
+  // Give the reader time to block in recv; close() from this thread
+  // must wake it (shutdown-first teardown), not strand it forever.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  client->close();
+  reader.join();
+  server.join();
+}
+
 TEST(NetTransport, ClosingTcpListenerUnblocksAccept) {
   SocketListener listener(0);
   std::thread closer([&] {
