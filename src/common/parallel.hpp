@@ -1,14 +1,24 @@
-// Minimal shared-memory parallel loop for embarrassingly-parallel
-// experiment sweeps (per-volunteer runs, parameter grids). Plain
-// std::thread fan-out with static index partitioning: every experiment
-// in this library is deterministic per index, so static scheduling
-// keeps results bit-identical regardless of thread count.
+// parallel_for — embarrassingly-parallel loops over the work-stealing
+// job system (jobs::WorkerPool / jobs::TaskGraph).
+//
+// The signature and semantics of the old barrier implementation are
+// preserved: every experiment in this library is deterministic per
+// index and tasks write only their own result slots, so results stay
+// bit-identical regardless of worker count or steal order. Failures
+// rethrow the *lowest-index* task error as a ParallelTaskError
+// (deterministic in the input, not in thread timing); foreign
+// (non-std::exception) throwables pass through unchanged.
+//
+// The legacy static-stride thread fan-out is retained verbatim as
+// static_parallel_for: it is the "barrier" reference comparator the
+// scale-out bench measures the job graph against, and a fallback
+// callers can pin themselves to if they ever need stride-partitioned
+// execution.
 #pragma once
 
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
-#include <cstdlib>
 #include <exception>
 #include <limits>
 #include <mutex>
@@ -17,6 +27,8 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "jobs/job_system.hpp"
+#include "jobs/threads.hpp"
 #include "obs/metrics.hpp"
 
 namespace netmaster {
@@ -68,72 +80,147 @@ class ParallelTaskError : public Error {
   std::exception_ptr cause_;
 };
 
-/// Default worker cap when a parallel_for caller passes 0: the
-/// NETMASTER_THREADS environment variable (read once per process) when
-/// set to a positive integer, hardware_concurrency otherwise. Lets CI
-/// rerun the whole suite single-threaded to flush nondeterminism
-/// without plumbing a thread count through every entry point.
-inline unsigned default_max_threads() {
-  static const unsigned cached = [] {
-    if (const char* env = std::getenv("NETMASTER_THREADS")) {
-      const long v = std::strtol(env, nullptr, 10);
-      if (v > 0) return static_cast<unsigned>(v);
-    }
-    return std::thread::hardware_concurrency();
-  }();
-  return cached;
-}
+namespace detail {
 
-/// Invokes fn(i) for every i in [0, count), distributing indices across
-/// up to `max_threads` hardware threads (0 = default_max_threads()).
-/// fn must be safe to call concurrently for distinct indices. When
-/// invocations throw, the failure at the lowest index (deterministic in
-/// the input, not in thread timing) is rethrown on the caller as a
-/// ParallelTaskError naming that index; non-std::exception throwables
-/// are rethrown unchanged.
+/// Per-task instrumentation: wall time lands in parallel.task_ms and
+/// parallel.tasks *whether or not the call throws* — failure-heavy
+/// chaos runs must not under-report load.
 template <typename Fn>
-void parallel_for(std::size_t count, Fn&& fn,
-                  unsigned max_threads = 0) {
-  if (count == 0) return;
-  unsigned hw = max_threads != 0 ? max_threads : default_max_threads();
-  if (hw == 0) hw = 1;
-  const std::size_t workers =
-      std::min<std::size_t>(hw, count);
-
-  using ParallelClock = std::chrono::steady_clock;
-  detail::ParallelMetrics& metrics = detail::ParallelMetrics::get();
-  metrics.invocations.add(1);
-  const auto loop_start = ParallelClock::now();
-  // Per-task wall time feeds the latency histogram; the per-worker sum
-  // of task time over the loop's wall time is that worker's
-  // utilization (1.0 = never idle, low values = starved by skew).
-  auto timed_call = [&](auto&& call, std::size_t i, double& busy_ms) {
-    const auto t0 = ParallelClock::now();
-    call(i);
-    const double ms =
-        std::chrono::duration<double, std::milli>(ParallelClock::now() - t0)
-            .count();
+void timed_call(Fn& fn, std::size_t i, double& busy_ms) {
+  ParallelMetrics& metrics = ParallelMetrics::get();
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto record = [&] {
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
     metrics.task_ms.add(ms);
     metrics.tasks.add(1);
     busy_ms += ms;
   };
-  auto record_utilization = [&](double busy_ms) {
+  try {
+    fn(i);
+  } catch (...) {
+    record();
+    throw;
+  }
+  record();
+}
+
+/// Rethrown-from-a-catch-block helper: wraps the in-flight exception as
+/// a ParallelTaskError; foreign throwables pass through untouched.
+inline std::exception_ptr wrap_current(std::size_t index) {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return std::make_exception_ptr(
+        ParallelTaskError(index, e.what(), std::current_exception()));
+  } catch (...) {
+    return std::current_exception();  // foreign type: pass through
+  }
+}
+
+}  // namespace detail
+
+/// Invokes fn(i) for every i in [0, count) on the work-stealing pool
+/// (up to `max_threads` workers; 0 = default_max_threads()). fn must be
+/// safe to call concurrently for distinct indices. When invocations
+/// throw, the failure at the lowest index is rethrown on the caller as
+/// a ParallelTaskError naming that index; non-std::exception throwables
+/// are rethrown unchanged. With one worker the loop runs inline and
+/// stops at the first failure (earlier work preserved); with more, the
+/// remaining independent tasks run to completion before the rethrow.
+template <typename Fn>
+void parallel_for(std::size_t count, Fn&& fn,
+                  unsigned max_threads = 0) {
+  if (count == 0) return;
+  unsigned requested =
+      max_threads != 0 ? max_threads : default_max_threads();
+  if (requested == 0) requested = 1;
+
+  detail::ParallelMetrics& metrics = detail::ParallelMetrics::get();
+  metrics.invocations.add(1);
+
+  if (requested <= 1 || count == 1) {
+    const auto loop_start = std::chrono::steady_clock::now();
+    double busy_ms = 0.0;
+    const auto record_utilization = [&] {
+      const double wall_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() -
+                                 loop_start)
+                                 .count();
+      if (wall_ms > 0.0) {
+        metrics.worker_utilization.add(std::min(1.0, busy_ms / wall_ms));
+      }
+    };
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        detail::timed_call(fn, i, busy_ms);
+      } catch (...) {
+        record_utilization();
+        std::rethrow_exception(detail::wrap_current(i));
+      }
+    }
+    record_utilization();
+    return;
+  }
+
+  // Pool path: one independent task per index, each writing nothing but
+  // its caller-owned slot, so the graph's determinism contract holds.
+  // The graph stores the lowest-submission-index failure, which is
+  // exactly the lowest loop index since tasks are added in order.
+  jobs::TaskGraph graph;
+  for (std::size_t i = 0; i < count; ++i) {
+    graph.add([&fn, i] {
+      double busy_ms = 0.0;  // the graph tracks per-worker busy time
+      try {
+        detail::timed_call(fn, i, busy_ms);
+      } catch (...) {
+        std::rethrow_exception(detail::wrap_current(i));
+      }
+    });
+  }
+  const auto record_utilization = [&] {
+    const double wall_ms = graph.wall_ms();
+    if (wall_ms <= 0.0) return;
+    for (std::size_t w = 0; w < graph.num_worker_slots(); ++w) {
+      const double busy = graph.worker_busy_ms(w);
+      if (busy > 0.0) {
+        metrics.worker_utilization.add(std::min(1.0, busy / wall_ms));
+      }
+    }
+  };
+  try {
+    jobs::run_graph(graph, requested);
+  } catch (...) {
+    record_utilization();
+    throw;
+  }
+  record_utilization();
+}
+
+/// The pre-job-system implementation: plain std::thread fan-out with
+/// static index partitioning and a full join barrier. Kept as the
+/// reference comparator for the barrier-vs-graph scale-out figure and
+/// for callers that explicitly want stride-partitioned threads. Same
+/// error semantics as parallel_for (lowest index wins; the throwing
+/// worker abandons its remaining stride, others run to completion).
+template <typename Fn>
+void static_parallel_for(std::size_t count, Fn&& fn,
+                         unsigned max_threads = 0) {
+  if (count == 0) return;
+  unsigned hw = max_threads != 0 ? max_threads : default_max_threads();
+  if (hw == 0) hw = 1;
+  const std::size_t workers = std::min<std::size_t>(hw, count);
+
+  detail::ParallelMetrics& metrics = detail::ParallelMetrics::get();
+  metrics.invocations.add(1);
+  const auto loop_start = std::chrono::steady_clock::now();
+  const auto record_utilization = [&](double busy_ms) {
     const double wall_ms = std::chrono::duration<double, std::milli>(
-                               ParallelClock::now() - loop_start)
+                               std::chrono::steady_clock::now() - loop_start)
                                .count();
     if (wall_ms > 0.0) {
       metrics.worker_utilization.add(std::min(1.0, busy_ms / wall_ms));
-    }
-  };
-
-  auto wrap_current = [](std::size_t index) -> std::exception_ptr {
-    try {
-      throw;
-    } catch (const std::exception& e) {
-      return std::make_exception_ptr(
-          ParallelTaskError(index, e.what(), std::current_exception()));
-    } catch (...) {
-      return std::current_exception();  // foreign type: pass through
     }
   };
 
@@ -141,10 +228,10 @@ void parallel_for(std::size_t count, Fn&& fn,
     double busy_ms = 0.0;
     for (std::size_t i = 0; i < count; ++i) {
       try {
-        timed_call(fn, i, busy_ms);
+        detail::timed_call(fn, i, busy_ms);
       } catch (...) {
         record_utilization(busy_ms);
-        std::rethrow_exception(wrap_current(i));
+        std::rethrow_exception(detail::wrap_current(i));
       }
     }
     record_utilization(busy_ms);
@@ -161,9 +248,9 @@ void parallel_for(std::size_t count, Fn&& fn,
       double busy_ms = 0.0;
       for (std::size_t i = w; i < count; i += workers) {
         try {
-          timed_call(fn, i, busy_ms);
+          detail::timed_call(fn, i, busy_ms);
         } catch (...) {
-          const std::exception_ptr wrapped = wrap_current(i);
+          const std::exception_ptr wrapped = detail::wrap_current(i);
           const std::lock_guard<std::mutex> lock(error_mutex);
           if (i < first_error_index) {
             first_error_index = i;

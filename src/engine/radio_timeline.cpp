@@ -1,6 +1,8 @@
 #include "engine/radio_timeline.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <vector>
 
 #include "common/error.hpp"
 
@@ -33,6 +35,167 @@ void RadioTimeline::allow_transfers(
 
 void RadioTimeline::allow_wakes(const std::vector<duty::WakeEvent>& wakes) {
   for (const duty::WakeEvent& w : wakes) allow(w.time, w.time + w.window);
+}
+
+namespace {
+
+/// mW * ms -> joules. Same expression as power/radio_model.cpp so the
+/// final doubles are bit-identical.
+constexpr double energy_joules(double mw, DurationMs ms) {
+  return mw * static_cast<double>(ms) * 1e-6;
+}
+
+constexpr TimeMs kFar = std::numeric_limits<TimeMs>::max() / 4;
+
+}  // namespace
+
+RadioAccounting account_columns(std::span<const TimeMs> begins,
+                                std::span<const TimeMs> ends,
+                                const RadioPowerParams& params,
+                                TimeMs horizon_end,
+                                const IntervalSet* radio_allowed) {
+  params.validate();
+  const std::size_t n = begins.size();
+  NM_REQUIRE(n == ends.size(),
+             "transfer columns must have equal lengths");
+
+  const std::vector<Interval>* allowed =
+      radio_allowed != nullptr ? &radio_allowed->intervals() : nullptr;
+
+  // Validation pass, in index order so a doubly-invalid input raises
+  // the same error the reference implementation would. The canonical
+  // columns are sorted, so the allowed-set membership check is one
+  // monotone merge cursor instead of n binary searches.
+  {
+    std::size_t j = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      NM_REQUIRE(ends[k] <= horizon_end,
+                 "transfer extends beyond the accounting horizon");
+      if (allowed != nullptr) {
+        const TimeMs b = begins[k];
+        while (j < allowed->size() && (*allowed)[j].end <= b) ++j;
+        NM_REQUIRE(j < allowed->size() && (*allowed)[j].begin <= b,
+                   "transfer outside the radio-allowed set");
+      }
+    }
+  }
+
+  const DurationMs dch_tail = params.dch_tail_ms;
+  const DurationMs fach_tail = params.fach_tail_ms;
+  DurationMs active_ms = 0;
+  DurationMs tail_dch = 0;
+  DurationMs tail_fach = 0;
+  DurationMs promo_ms = 0;
+  int promotions = 0;
+
+  // End-of-allowed-window cursor. Query points (the running
+  // connected_until) are non-decreasing, so one forward scan serves
+  // every lookup including the trailing tail.
+  std::size_t aj = 0;
+  const auto allowed_until = [&](TimeMs t) -> TimeMs {
+    if (allowed == nullptr) return kFar;
+    while (aj < allowed->size() && (*allowed)[aj].end <= t) ++aj;
+    if (aj < allowed->size() && (*allowed)[aj].begin <= t) {
+      return (*allowed)[aj].end;
+    }
+    return t;
+  };
+
+  TimeMs connected_until = 0;
+  if (n > 0) {
+    // Peel the first transfer: always a cold promotion from IDLE.
+    const DurationMs promo0 = params.promo_idle_ms;
+    promotions += promo0 > 0;
+    promo_ms += promo0;
+    const DurationMs dur0 = ends[0] - begins[0];
+    active_ms += dur0;
+    connected_until = begins[0] + promo0 + dur0;
+
+    for (std::size_t k = 1; k < n; ++k) {
+      const TimeMs b = begins[k];
+      const DurationMs dur = ends[k] - b;
+      const TimeMs prev = connected_until;
+      const TimeMs cut = allowed_until(prev);
+      const TimeMs warm_dch_end = prev + dch_tail;
+      const TimeMs warm_fach_end = warm_dch_end + fach_tail;
+
+      // Inter-transfer tail: runs from prev to min(b, cut, tail
+      // expiry). The no-gap case (b <= prev: the connected period
+      // simply extends) clamps the span to zero — no branch.
+      const TimeMs tail_stop = std::min({b, cut, warm_fach_end});
+      const DurationMs span = std::max<DurationMs>(tail_stop - prev, 0);
+      const DurationMs dch = std::min(span, dch_tail);
+      tail_dch += dch;
+      tail_fach += std::min<DurationMs>(span - dch, fach_tail);
+
+      // Promotion class by boolean arithmetic: inside the surviving
+      // DCH tail -> free, inside the FACH tail -> FACH promotion,
+      // otherwise (expired or cut) -> cold IDLE promotion.
+      const bool gap = b > prev;
+      const bool within = b <= cut;
+      const bool in_dch = gap & within & (b < warm_dch_end);
+      const bool in_fach =
+          gap & within & !(b < warm_dch_end) & (b < warm_fach_end);
+      const bool cold = gap & !(in_dch | in_fach);
+      const DurationMs promo =
+          static_cast<DurationMs>(in_fach) * params.promo_fach_ms +
+          static_cast<DurationMs>(cold) * params.promo_idle_ms;
+      promotions += promo > 0;
+      promo_ms += promo;
+      active_ms += dur;
+      connected_until = std::max(b, prev) + promo + dur;
+    }
+
+    // Trailing tail after the final transfer, clipped at the horizon
+    // and the allowed window.
+    if (connected_until < horizon_end) {
+      const TimeMs cut = allowed_until(connected_until);
+      const TimeMs stop =
+          std::min({horizon_end, cut,
+                    connected_until + dch_tail + fach_tail});
+      const DurationMs span =
+          std::max<DurationMs>(stop - connected_until, 0);
+      const DurationMs dch = std::min(span, dch_tail);
+      tail_dch += dch;
+      tail_fach += std::min<DurationMs>(span - dch, fach_tail);
+    }
+  }
+
+  // Energy falls out of the four integer totals exactly as in the
+  // reference — same terms, same order, bit-identical doubles.
+  RadioAccounting acc;
+  acc.active_ms = active_ms;
+  acc.tail_dch_ms = tail_dch;
+  acc.tail_fach_ms = tail_fach;
+  acc.promo_ms = promo_ms;
+  acc.promotions = promotions;
+  acc.radio_on_ms = active_ms + tail_dch + tail_fach + promo_ms;
+  acc.energy_j = energy_joules(params.dch_mw, acc.active_ms) +
+                 energy_joules(params.dch_mw, acc.tail_dch_ms) +
+                 energy_joules(params.fach_mw, acc.tail_fach_ms) +
+                 energy_joules(params.promo_mw, acc.promo_ms);
+  return acc;
+}
+
+RadioAccounting account_interval_set(const IntervalSet& transfers,
+                                     const RadioPowerParams& params,
+                                     TimeMs horizon_end,
+                                     const IntervalSet* radio_allowed) {
+  // Scatter the AoS intervals into reusable per-thread columns: the
+  // kernel wants SoA and the accounting hot path must not allocate in
+  // steady state.
+  thread_local std::vector<TimeMs> begins;
+  thread_local std::vector<TimeMs> ends;
+  const std::vector<Interval>& ivs = transfers.intervals();
+  begins.clear();
+  ends.clear();
+  begins.reserve(ivs.size());
+  ends.reserve(ivs.size());
+  for (const Interval& iv : ivs) {
+    begins.push_back(iv.begin);
+    ends.push_back(iv.end);
+  }
+  return account_columns(begins, ends, params, horizon_end, radio_allowed);
 }
 
 }  // namespace netmaster::engine

@@ -10,11 +10,13 @@
 // (sim/accounting.cpp) consumes the same representation.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/interval.hpp"
 #include "common/time.hpp"
 #include "duty/duty_cycle.hpp"
+#include "power/radio_model.hpp"
 #include "sim/outcome.hpp"
 
 namespace netmaster::engine {
@@ -50,5 +52,33 @@ class RadioTimeline {
   TimeMs horizon_;
   IntervalSet allowed_;
 };
+
+/// Vectorized RRC state-residency accounting over SoA time columns —
+/// the replay-hot-path form of power/radio_model.cpp's
+/// account_transfers. `begins`/`ends` are the canonical transfer
+/// columns (sorted, disjoint, non-empty, equal length — exactly the
+/// layout of mem::SessionColumns and of an IntervalSet's split
+/// fields). The kernel makes a single branch-minimized pass: tail
+/// spans and promotion classes are computed with max/min clamps and
+/// boolean-arithmetic selectors instead of the reference
+/// implementation's three-way branch, and the allowed-set lookups are
+/// two monotone merge cursors instead of per-transfer binary searches
+/// (O(n + m) total). Energy is derived once at the end from the four
+/// integer millisecond totals, so results are bit-for-bit identical to
+/// account_transfers on every input — a property the differential
+/// tests in radio_timeline_test fuzz.
+RadioAccounting account_columns(std::span<const TimeMs> begins,
+                                std::span<const TimeMs> ends,
+                                const RadioPowerParams& params,
+                                TimeMs horizon_end,
+                                const IntervalSet* radio_allowed = nullptr);
+
+/// account_columns over a canonical IntervalSet: splits the AoS
+/// intervals into thread-local scratch columns (no steady-state
+/// allocation) and runs the vectorized kernel. Drop-in replacement for
+/// account_transfers on the accounting hot path.
+RadioAccounting account_interval_set(
+    const IntervalSet& transfers, const RadioPowerParams& params,
+    TimeMs horizon_end, const IntervalSet* radio_allowed = nullptr);
 
 }  // namespace netmaster::engine

@@ -3,7 +3,7 @@
 #include <utility>
 
 #include "common/error.hpp"
-#include "common/parallel.hpp"
+#include "jobs/job_system.hpp"
 #include "obs/export.hpp"
 #include "obs/span.hpp"
 #include "policy/baseline.hpp"
@@ -120,74 +120,104 @@ void finalize_report(const EvalSession& session, FleetReport& report,
   }
 }
 
-/// The N×M cell grid over a prepared session. A throwing cell fails
-/// alone; a user whose session preparation failed poisons only its own
-/// row.
-FleetReport run_grid(const EvalSession& session,
-                     const std::vector<PolicySpec>& policies,
-                     unsigned max_threads) {
+/// The body of one (user, policy) cell: mine, schedule, account. Writes
+/// only its own pre-allocated cell — the deterministic result slot that
+/// makes fleet output bit-identical regardless of worker count or steal
+/// order. A throwing cell fails alone; a user whose preparation failed
+/// poisons only its own row.
+void run_cell(const EvalSession& session, const PolicySpec& spec,
+              const RadioPowerParams& radio, std::size_t u,
+              FleetCell& cell) {
+  cell.user = session.user_id(u);
+  cell.profile_name = session.profile_name(u);
+  cell.policy = spec.name;
+  if (!session.ok(u)) {
+    cell.failed = true;
+    cell.error = session.prep_error(u);
+    return;
+  }
+  const obs::SpanScope cell_span("fleet.cell");
+  try {
+    // One pin for the whole cell: rehydrates a spilled user at most
+    // once and keeps the traces alive across mine/probe/account.
+    const UserStore::Pin traces = session.traces(u);
+    std::unique_ptr<policy::Policy> pol;
+    {
+      const obs::SpanScope mine_span("fleet.mine");
+      pol = spec.make(traces.training());
+    }
+    if (spec.probe) {
+      cell.probe_value = spec.probe(*pol, traces);
+    }
+    sim::PolicyOutcome outcome;
+    {
+      const obs::SpanScope schedule_span("fleet.schedule");
+      outcome = pol->run(session.index(u));
+    }
+    const obs::SpanScope account_span("fleet.account");
+    cell.report = sim::account(traces.eval(), outcome, radio);
+  } catch (const std::exception& e) {
+    cell.failed = true;
+    cell.error = e.what();
+    obs::Registry::global().counter("fleet.cells_failed").add(1);
+    return;
+  }
+  cell.degraded = cell.report.degraded;
+  if (cell.degraded) {
+    obs::Registry::global().counter("fleet.cells_degraded").add(1);
+  }
+  const sim::SimReport& baseline = session.baseline(u);
+  if (baseline.energy_j > 0.0) {
+    cell.energy_saving = 1.0 - cell.report.energy_j / baseline.energy_j;
+  }
+  if (baseline.radio_on_ms > 0) {
+    cell.radio_on_fraction =
+        static_cast<double>(cell.report.radio_on_ms) /
+        static_cast<double>(baseline.radio_on_ms);
+  }
+}
+
+/// Sizes `report` for the grid and appends one task per (user, policy)
+/// cell to `graph`. When `prep_tasks` is non-null (the fused
+/// build+evaluate path), each cell depends on its user's prepare task,
+/// so user u's row starts replaying as soon as u is prepared — no
+/// fleet-wide barrier between preparation and evaluation.
+void schedule_cells(const EvalSession& session,
+                    const std::vector<PolicySpec>& policies,
+                    FleetReport& report, jobs::TaskGraph& graph,
+                    const std::vector<jobs::TaskId>* prep_tasks) {
   NM_REQUIRE(!policies.empty(), "fleet needs at least one policy");
   const std::size_t n = session.num_users();
   const std::size_t m = policies.size();
-  const RadioPowerParams& radio = session.config().netmaster.profit.radio;
-
-  FleetReport report;
   report.num_users = n;
   report.num_policies = m;
   report.cells.resize(n * m);
-  auto run_cell = [&](std::size_t c) {
+  for (std::size_t c = 0; c < n * m; ++c) {
     const std::size_t u = c / m;
     const std::size_t p = c % m;
-    FleetCell& cell = report.cells[c];
-    cell.user = session.user_id(u);
-    cell.profile_name = session.profile_name(u);
-    cell.policy = policies[p].name;
-    if (!session.ok(u)) {
-      cell.failed = true;
-      cell.error = session.prep_error(u);
-      return;
+    // The graph runs after this function returns, so the task resolves
+    // the radio params through the (caller-kept-alive) session instead
+    // of capturing a local reference.
+    const jobs::TaskId cell =
+        graph.add([&session, &policies, &report, u, p, c] {
+          run_cell(session, policies[p],
+                   session.config().netmaster.profit.radio, u,
+                   report.cells[c]);
+        });
+    if (prep_tasks != nullptr) {
+      graph.add_dependency((*prep_tasks)[u], cell);
     }
-    const obs::SpanScope cell_span("fleet.cell");
-    try {
-      // One pin for the whole cell: rehydrates a spilled user at most
-      // once and keeps the traces alive across mine/probe/account.
-      const UserStore::Pin traces = session.traces(u);
-      std::unique_ptr<policy::Policy> pol;
-      {
-        const obs::SpanScope mine_span("fleet.mine");
-        pol = policies[p].make(traces.training());
-      }
-      if (policies[p].probe) {
-        cell.probe_value = policies[p].probe(*pol, traces);
-      }
-      sim::PolicyOutcome outcome;
-      {
-        const obs::SpanScope schedule_span("fleet.schedule");
-        outcome = pol->run(session.index(u));
-      }
-      const obs::SpanScope account_span("fleet.account");
-      cell.report = sim::account(traces.eval(), outcome, radio);
-    } catch (const std::exception& e) {
-      cell.failed = true;
-      cell.error = e.what();
-      obs::Registry::global().counter("fleet.cells_failed").add(1);
-      return;
-    }
-    cell.degraded = cell.report.degraded;
-    if (cell.degraded) {
-      obs::Registry::global().counter("fleet.cells_degraded").add(1);
-    }
-    const sim::SimReport& baseline = session.baseline(u);
-    if (baseline.energy_j > 0.0) {
-      cell.energy_saving = 1.0 - cell.report.energy_j / baseline.energy_j;
-    }
-    if (baseline.radio_on_ms > 0) {
-      cell.radio_on_fraction =
-          static_cast<double>(cell.report.radio_on_ms) /
-          static_cast<double>(baseline.radio_on_ms);
-    }
-  };
-  parallel_for(n * m, run_cell, max_threads);
+  }
+}
+
+/// The N×M cell grid over an already-prepared session.
+FleetReport run_grid(const EvalSession& session,
+                     const std::vector<PolicySpec>& policies,
+                     unsigned max_threads) {
+  FleetReport report;
+  jobs::TaskGraph graph;
+  schedule_cells(session, policies, report, graph, nullptr);
+  jobs::run_graph(graph, max_threads);
   finalize_report(session, report, /*count_rows=*/true);
   return report;
 }
@@ -215,8 +245,19 @@ FleetReport run_fleet(const std::vector<synth::UserProfile>& profiles,
   FleetReport report;
   {
     const obs::SpanScope span("eval.run_fleet");
-    const EvalSession session(profiles, config, max_threads);
-    report = run_grid(session, policies, max_threads);
+    // Fused build+evaluate: one graph carries every user's
+    // trace_gen -> prepare chain and, hanging off each prepare, that
+    // user's M policy cells. User u's row replays while user v is
+    // still synthesizing — the per-stage fleet-wide barriers of the
+    // old parallel_for pipeline are gone. Cells of a prep-failed user
+    // still run (they record the row failure from prep_error).
+    jobs::TaskGraph graph;
+    std::vector<jobs::TaskId> prep_tasks;
+    const EvalSession session(DeferBuild{}, profiles, config, graph,
+                              prep_tasks);
+    schedule_cells(session, policies, report, graph, &prep_tasks);
+    jobs::run_graph(graph, max_threads);
+    finalize_report(session, report, /*count_rows=*/true);
   }
   obs::maybe_export_env();
   return report;
@@ -229,8 +270,16 @@ FleetReport run_fleet(const std::vector<VolunteerTraces>& volunteers,
   FleetReport report;
   {
     const obs::SpanScope span("eval.run_fleet");
-    const EvalSession session(volunteers, config, max_threads);
-    report = run_grid(session, policies, max_threads);
+    // Same fused graph as the profile overload, minus trace_gen tasks:
+    // volunteer admission is inline (it consumes the traces), so each
+    // user's chain is prepare -> M cells.
+    jobs::TaskGraph graph;
+    std::vector<jobs::TaskId> prep_tasks;
+    const EvalSession session(DeferBuild{}, volunteers, config, graph,
+                              prep_tasks);
+    schedule_cells(session, policies, report, graph, &prep_tasks);
+    jobs::run_graph(graph, max_threads);
+    finalize_report(session, report, /*count_rows=*/true);
   }
   obs::maybe_export_env();
   return report;

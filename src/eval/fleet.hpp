@@ -125,20 +125,25 @@ struct FleetReport {
 
 /// Evaluates every policy on every prepared user of the session. The
 /// session's traces/indexes/baselines are shared read-only state; only
-/// the N×M cell grid runs here, under one parallel_for, so results are
-/// deterministic in (session, policies) regardless of thread count
-/// (`max_threads` = 0 means hardware concurrency, overridable via the
-/// NETMASTER_THREADS environment variable). Per-user errors are
-/// isolated into FleetReport::failures; the run itself never throws on
-/// bad user data.
+/// the N×M cell grid runs here, as independent tasks on the
+/// work-stealing pool writing pre-allocated result slots, so results
+/// are deterministic in (session, policies) regardless of worker count
+/// or steal order (`max_threads` = 0 means hardware concurrency,
+/// overridable via NETMASTER_THREADS / set_default_max_threads). Per-
+/// user errors are isolated into FleetReport::failures; the run itself
+/// never throws on bad user data.
 FleetReport run_fleet(const EvalSession& session,
                       const std::vector<PolicySpec>& policies,
                       unsigned max_threads = 0);
 
-/// Convenience: builds a throwaway EvalSession over the profiles and
-/// runs the grid. Prefer the session overload when running more than
-/// one grid (sweeps, repeated figures) — the session amortizes trace
-/// generation and indexing across runs.
+/// Fused build+evaluate: one task graph carries every user's
+/// trace_gen -> prepare chain with that user's M policy cells hanging
+/// off the prepare task, so a prepared user's row replays while slower
+/// users are still synthesizing — no fleet-wide stage barrier. Results
+/// are bit-identical to building an EvalSession first and calling the
+/// session overload. Prefer the session overload when running more
+/// than one grid (sweeps, repeated figures) — the session amortizes
+/// trace generation and indexing across runs.
 FleetReport run_fleet(const std::vector<synth::UserProfile>& profiles,
                       const std::vector<PolicySpec>& policies,
                       const ExperimentConfig& config,

@@ -3,7 +3,6 @@
 #include <utility>
 
 #include "common/error.hpp"
-#include "common/parallel.hpp"
 #include "obs/span.hpp"
 #include "policy/baseline.hpp"
 #include "synth/generator.hpp"
@@ -52,17 +51,14 @@ EvalSession::EvalSession(const std::vector<synth::UserProfile>& profiles,
       store_(std::make_unique<UserStore>(config.store)),
       users_(profiles.size()) {
   store_->resize(profiles.size());
-  parallel_for(profiles.size(), [&](std::size_t u) {
-    const obs::SpanScope gen_span("fleet.trace_gen");
-    users_[u].id = profiles[u].id;
-    users_[u].profile_name = profiles[u].name;
-    try {
-      store_->admit(u, make_traces(profiles[u], config_));
-    } catch (const std::exception& e) {
-      users_[u].prep_error = e.what();
-    }
-  }, max_threads);
-  prepare(max_threads);
+  // Per-user trace_gen -> prepare chains instead of two barriered
+  // parallel_for stages: a user whose synthesis finishes early starts
+  // preparing immediately, it never waits for the slowest generator.
+  jobs::TaskGraph graph;
+  for (std::size_t u = 0; u < users_.size(); ++u) {
+    schedule_user_build(graph, u, profiles[u]);
+  }
+  jobs::run_graph(graph, max_threads);
 }
 
 EvalSession::EvalSession(std::vector<VolunteerTraces> volunteers,
@@ -72,6 +68,8 @@ EvalSession::EvalSession(std::vector<VolunteerTraces> volunteers,
       store_(std::make_unique<UserStore>(config.store)),
       users_(volunteers.size()) {
   store_->resize(volunteers.size());
+  // Admission consumes the traces, so it stays inline; only the
+  // per-user preparation fans out onto the graph.
   for (std::size_t u = 0; u < users_.size(); ++u) {
     users_[u].id = volunteers[u].eval.user;
     users_[u].profile_name = "volunteer";
@@ -81,33 +79,97 @@ EvalSession::EvalSession(std::vector<VolunteerTraces> volunteers,
       users_[u].prep_error = e.what();
     }
   }
-  prepare(max_threads);
+  jobs::TaskGraph graph;
+  for (std::size_t u = 0; u < users_.size(); ++u) {
+    schedule_user_prepare(graph, u);
+  }
+  jobs::run_graph(graph, max_threads);
 }
 
-void EvalSession::prepare(unsigned max_threads) {
-  const RadioPowerParams& radio = config_.netmaster.profit.radio;
-  parallel_for(users_.size(), [&](std::size_t u) {
-    UserState& state = users_[u];
-    if (!state.prep_error.empty()) return;
-    const obs::SpanScope span("fleet.prepare");
+EvalSession::EvalSession(DeferBuild,
+                         const std::vector<synth::UserProfile>& profiles,
+                         const ExperimentConfig& config,
+                         jobs::TaskGraph& graph,
+                         std::vector<jobs::TaskId>& prepare_tasks)
+    : config_(config),
+      store_(std::make_unique<UserStore>(config.store)),
+      users_(profiles.size()) {
+  store_->resize(profiles.size());
+  prepare_tasks.reserve(prepare_tasks.size() + users_.size());
+  for (std::size_t u = 0; u < users_.size(); ++u) {
+    prepare_tasks.push_back(schedule_user_build(graph, u, profiles[u]));
+  }
+}
+
+EvalSession::EvalSession(DeferBuild, std::vector<VolunteerTraces> volunteers,
+                         const ExperimentConfig& config,
+                         jobs::TaskGraph& graph,
+                         std::vector<jobs::TaskId>& prepare_tasks)
+    : config_(config),
+      store_(std::make_unique<UserStore>(config.store)),
+      users_(volunteers.size()) {
+  store_->resize(volunteers.size());
+  prepare_tasks.reserve(prepare_tasks.size() + users_.size());
+  for (std::size_t u = 0; u < users_.size(); ++u) {
+    users_[u].id = volunteers[u].eval.user;
+    users_[u].profile_name = "volunteer";
     try {
-      // Pin the traces for the whole preparation: the index copies the
-      // eval trace into the per-user arena and is self-contained from
-      // then on; the pin's lifetime guards index.trace() so a later
-      // eviction is caught instead of dereferenced.
-      const UserStore::Pin pin = store_->pin(u);
-      pin.eval().validate();
-      state.arena = std::make_unique<mem::Arena>();
-      state.index = std::make_unique<engine::TraceIndex>(
-          pin.eval(), *state.arena, pin.lifetime());
-      const policy::BaselinePolicy base;
-      const obs::SpanScope account_span("fleet.account");
-      state.baseline =
-          sim::account(pin.eval(), base.run(*state.index), radio);
+      store_->admit(u, std::move(volunteers[u]));
     } catch (const std::exception& e) {
-      state.prep_error = e.what();
+      users_[u].prep_error = e.what();
     }
-  }, max_threads);
+    prepare_tasks.push_back(schedule_user_prepare(graph, u));
+  }
+}
+
+jobs::TaskId EvalSession::schedule_user_build(
+    jobs::TaskGraph& graph, std::size_t u,
+    const synth::UserProfile& profile) {
+  // The tasks capture `this` and `&profile`: the session is built in
+  // place and the deferred-build contract (session.hpp) keeps both
+  // alive and unmoved until the graph runs.
+  const jobs::TaskId gen = graph.add([this, u, &profile] {
+    const obs::SpanScope gen_span("fleet.trace_gen");
+    users_[u].id = profile.id;
+    users_[u].profile_name = profile.name;
+    try {
+      store_->admit(u, make_traces(profile, config_));
+    } catch (const std::exception& e) {
+      users_[u].prep_error = e.what();
+    }
+  });
+  const jobs::TaskId prep = graph.add([this, u] { prepare_user(u); });
+  graph.add_dependency(gen, prep);
+  return prep;
+}
+
+jobs::TaskId EvalSession::schedule_user_prepare(jobs::TaskGraph& graph,
+                                                std::size_t u) {
+  return graph.add([this, u] { prepare_user(u); });
+}
+
+void EvalSession::prepare_user(std::size_t u) {
+  UserState& state = users_[u];
+  if (!state.prep_error.empty()) return;
+  const obs::SpanScope span("fleet.prepare");
+  try {
+    // Pin the traces for the whole preparation: the index copies the
+    // eval trace into the per-user arena and is self-contained from
+    // then on; the pin's lifetime guards index.trace() so a later
+    // eviction is caught instead of dereferenced.
+    const UserStore::Pin pin = store_->pin(u);
+    pin.eval().validate();
+    state.arena = std::make_unique<mem::Arena>();
+    state.index = std::make_unique<engine::TraceIndex>(
+        pin.eval(), *state.arena, pin.lifetime());
+    const policy::BaselinePolicy base;
+    const obs::SpanScope account_span("fleet.account");
+    const RadioPowerParams& radio = config_.netmaster.profit.radio;
+    state.baseline =
+        sim::account(pin.eval(), base.run(*state.index), radio);
+  } catch (const std::exception& e) {
+    state.prep_error = e.what();
+  }
 }
 
 std::size_t EvalSession::num_ok() const {

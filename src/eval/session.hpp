@@ -27,6 +27,7 @@
 
 #include "engine/trace_index.hpp"
 #include "eval/user_store.hpp"
+#include "jobs/job_system.hpp"
 #include "policy/netmaster.hpp"
 #include "sim/accounting.hpp"
 #include "synth/drift.hpp"
@@ -62,21 +63,46 @@ VolunteerTraces make_drifting_traces(const synth::UserProfile& profile,
                                      const ExperimentConfig& config,
                                      const synth::DriftSpec& spec);
 
+/// Tag selecting the graph-native deferred-build constructors: the
+/// session schedules its per-user build chains into a caller-owned
+/// TaskGraph instead of running them, so callers (the fused run_fleet
+/// path) can hang policy-cell tasks off each user's prepare task and
+/// run everything as one graph with no stage barrier.
+struct DeferBuild {};
+
 /// Immutable per-user evaluation state shared across sweep points and
 /// policy cells. Movable, non-copyable (it owns one TraceIndex and one
 /// arena per user, plus the trace store).
 class EvalSession {
  public:
   /// Synthesizes, splits, indexes and baseline-accounts every profile
-  /// in parallel. A profile whose preparation throws is marked failed
-  /// (`ok(u)` false) — construction itself never throws on bad user
-  /// data.
+  /// on the work-stealing pool as independent per-user
+  /// trace_gen -> prepare chains. A profile whose preparation throws is
+  /// marked failed (`ok(u)` false) — construction itself never throws
+  /// on bad user data.
   EvalSession(const std::vector<synth::UserProfile>& profiles,
               const ExperimentConfig& config, unsigned max_threads = 0);
 
   /// Same, over pre-built (possibly recorded/corrupted) trace pairs.
   EvalSession(std::vector<VolunteerTraces> volunteers,
               const ExperimentConfig& config, unsigned max_threads = 0);
+
+  /// Graph-native construction: appends each user's trace_gen ->
+  /// prepare chain to `graph` without running it and returns the
+  /// per-user *prepare* TaskIds (index u) for dependents. The session
+  /// and `profiles` must stay alive and unmoved until the graph runs;
+  /// every accessor except num_users()/config() is valid only after it
+  /// completes.
+  EvalSession(DeferBuild, const std::vector<synth::UserProfile>& profiles,
+              const ExperimentConfig& config, jobs::TaskGraph& graph,
+              std::vector<jobs::TaskId>& prepare_tasks);
+
+  /// Graph-native volunteer construction: admission happens inline
+  /// (it consumes the traces), the per-user prepare tasks land in
+  /// `graph`. Same lifetime rules as the profile overload.
+  EvalSession(DeferBuild, std::vector<VolunteerTraces> volunteers,
+              const ExperimentConfig& config, jobs::TaskGraph& graph,
+              std::vector<jobs::TaskId>& prepare_tasks);
 
   EvalSession(EvalSession&&) = default;
   EvalSession& operator=(EvalSession&&) = default;
@@ -123,8 +149,16 @@ class EvalSession {
   };
 
   const UserState& user(std::size_t u) const;
-  /// Validates, indexes and baseline-accounts every non-failed user.
-  void prepare(unsigned max_threads);
+  /// Appends user u's trace_gen task (synthesize + admit) followed by
+  /// its prepare task to `graph`; returns the prepare TaskId.
+  jobs::TaskId schedule_user_build(jobs::TaskGraph& graph, std::size_t u,
+                                   const synth::UserProfile& profile);
+  /// Appends user u's prepare task (validate, index, baseline) only.
+  jobs::TaskId schedule_user_prepare(jobs::TaskGraph& graph, std::size_t u);
+  /// The per-user prepare body: validate, build the arena-backed
+  /// index, account the baseline. Never throws; failures land in
+  /// prep_error.
+  void prepare_user(std::size_t u);
 
   ExperimentConfig config_;
   std::unique_ptr<UserStore> store_;

@@ -2,8 +2,9 @@
 //
 // A sweep is (points × users × policies): every point contributes a
 // roster of PolicySpecs, the whole grid runs as ONE fleet (a single
-// parallel_for over every cell, sharing the session's per-user
-// TraceIndexes), and the combined report is sliced back into one
+// task graph of independent cells on the work-stealing pool, sharing
+// the session's per-user TraceIndexes), and the combined report is
+// sliced back into one
 // FleetReport per point for the caller's reduction. Trace synthesis and
 // indexing are paid once per session, not once per point, and the
 // fleet's failure isolation, degradation counters and span attribution

@@ -39,7 +39,9 @@ SimReport account(const UserTrace& eval, const PolicyOutcome& outcome,
   }
 
   // RRC energy over the executed schedule, under the policy's data
-  // switch when it drives one.
+  // switch when it drives one. The vectorized engine kernel is
+  // bit-identical to power/radio_model.cpp's account_transfers (the
+  // retained reference the differential tests fuzz against).
   if (outcome.radio_allowed.has_value()) {
     // One canonical allowed-set construction: the policy's extra
     // windows, the executed transfers themselves, and the duty probes.
@@ -48,10 +50,11 @@ SimReport account(const UserTrace& eval, const PolicyOutcome& outcome,
     timeline.allow(executed);
     timeline.allow_wakes(outcome.wakes);
     const IntervalSet allowed = std::move(timeline).build();
-    report.radio =
-        account_transfers(executed, params, report.horizon_ms, &allowed);
+    report.radio = engine::account_interval_set(executed, params,
+                                                report.horizon_ms, &allowed);
   } else {
-    report.radio = account_transfers(executed, params, report.horizon_ms);
+    report.radio =
+        engine::account_interval_set(executed, params, report.horizon_ms);
   }
   report.transfer_energy_j = report.radio.energy_j;
 

@@ -112,6 +112,39 @@ TEST(Fleet, DeterministicAcrossThreadCounts) {
   }
 }
 
+TEST(Fleet, FusedGraphMatchesStagedSessionAtEveryWorkerCount) {
+  // The fused run_fleet path (one graph: trace_gen -> prepare -> cells
+  // per user, no stage barrier) must be bit-identical to building the
+  // session first and running the grid over it — at every worker count.
+  const ExperimentConfig cfg = small_config();
+  const auto suite = standard_policy_suite(cfg.netmaster);
+  const auto users = small_fleet();
+  const EvalSession session(users, cfg, 1);
+  const FleetReport staged = run_fleet(session, suite, 1);
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    const FleetReport fused = run_fleet(users, suite, cfg, threads);
+    ASSERT_EQ(fused.cells.size(), staged.cells.size()) << threads;
+    for (std::size_t c = 0; c < staged.cells.size(); ++c) {
+      EXPECT_EQ(fused.cells[c].policy, staged.cells[c].policy);
+      EXPECT_EQ(fused.cells[c].report.energy_j,
+                staged.cells[c].report.energy_j)
+          << "threads=" << threads << " cell=" << c;
+      EXPECT_EQ(fused.cells[c].report.radio_on_ms,
+                staged.cells[c].report.radio_on_ms);
+      EXPECT_EQ(fused.cells[c].energy_saving,
+                staged.cells[c].energy_saving);
+      EXPECT_EQ(fused.cells[c].report.affected_usages,
+                staged.cells[c].report.affected_usages);
+    }
+    ASSERT_EQ(fused.aggregates.size(), staged.aggregates.size());
+    for (std::size_t p = 0; p < staged.aggregates.size(); ++p) {
+      EXPECT_EQ(fused.aggregates[p].total_energy_j,
+                staged.aggregates[p].total_energy_j);
+    }
+  }
+}
+
 TEST(Fleet, RejectsEmptyPolicySuite) {
   const ExperimentConfig cfg = small_config();
   EXPECT_THROW(run_fleet(small_fleet(), {}, cfg), Error);

@@ -2,11 +2,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
 
 #include "common/parallel.hpp"
+#include "jobs/threads.hpp"
+#include "obs/metrics.hpp"
 
 namespace netmaster {
 namespace {
@@ -97,6 +100,56 @@ TEST(ParallelFor, ForeignThrowablePassesThrough) {
                             },
                             /*max_threads=*/2),
                int);
+}
+
+TEST(ParallelFor, ThrowingTaskStillRecordsTelemetry) {
+  // A task that throws still costs wall time; the task counter must see
+  // it (the old implementation lost the throwing task's sample, so
+  // failure-heavy chaos runs under-reported load).
+  obs::Counter& tasks = obs::Registry::global().counter("parallel.tasks");
+  const std::uint64_t before = tasks.value();
+  try {
+    parallel_for(
+        100,
+        [](std::size_t i) {
+          if (i == 50) throw std::runtime_error("boom");
+        },
+        /*max_threads=*/1);
+    FAIL() << "expected exception";
+  } catch (const ParallelTaskError&) {
+  }
+  // Sequential path: indices 0..49 succeeded, index 50 threw — all 51
+  // invocations recorded.
+  EXPECT_EQ(tasks.value() - before, 51u);
+}
+
+TEST(ParallelFor, DefaultMaxThreadsOverrideHook) {
+  // The explicit override beats NETMASTER_THREADS / hardware defaults;
+  // 0 restores them. This is the knob the thread-matrix tests and the
+  // single-threaded CI rerun share with the pool itself.
+  const unsigned ambient = default_max_threads();
+  set_default_max_threads(3);
+  EXPECT_EQ(default_max_threads(), 3u);
+  set_default_max_threads(0);
+  EXPECT_EQ(default_max_threads(), ambient);
+}
+
+TEST(ParallelFor, ResultsIdenticalUnderOverrideMatrix) {
+  auto compute = [] {
+    std::vector<double> out(128);
+    parallel_for(out.size(), [&](std::size_t i) {
+      out[i] = static_cast<double>(i) * 0.75 + 1.0;
+    });
+    return out;
+  };
+  std::vector<std::vector<double>> results;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    set_default_max_threads(threads);
+    results.push_back(compute());
+  }
+  set_default_max_threads(0);
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
 }
 
 TEST(ParallelFor, SequentialExceptionPreservesEarlierWork) {

@@ -3,6 +3,9 @@
 // builders matching the hand-assembled IntervalSets they replaced.
 #include <gtest/gtest.h>
 
+#include <random>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -93,6 +96,165 @@ TEST(RadioTimeline, MatchesHandAssembledSet) {
 
 TEST(RadioTimeline, RejectsNegativeHorizon) {
   EXPECT_THROW(RadioTimeline(-1), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Differential tests: the vectorized SoA accounting kernel
+// (account_columns / account_interval_set) against the reference
+// branchy implementation (power/radio_model.cpp account_transfers).
+// The contract is bit-for-bit equality — every integer field AND the
+// energy double — on every input.
+
+void expect_accounting_equal(const RadioAccounting& got,
+                             const RadioAccounting& want,
+                             const std::string& context) {
+  EXPECT_EQ(got.active_ms, want.active_ms) << context;
+  EXPECT_EQ(got.tail_dch_ms, want.tail_dch_ms) << context;
+  EXPECT_EQ(got.tail_fach_ms, want.tail_fach_ms) << context;
+  EXPECT_EQ(got.promo_ms, want.promo_ms) << context;
+  EXPECT_EQ(got.promotions, want.promotions) << context;
+  EXPECT_EQ(got.radio_on_ms, want.radio_on_ms) << context;
+  // Bitwise, not approximate: the kernel derives energy from the same
+  // integer totals with the same expression.
+  EXPECT_EQ(got.energy_j, want.energy_j) << context;
+}
+
+void expect_matches_reference(const IntervalSet& transfers,
+                              const RadioPowerParams& params,
+                              TimeMs horizon,
+                              const IntervalSet* allowed,
+                              const std::string& context) {
+  const RadioAccounting want =
+      account_transfers(transfers, params, horizon, allowed);
+  const RadioAccounting got =
+      account_interval_set(transfers, params, horizon, allowed);
+  expect_accounting_equal(got, want, context);
+}
+
+std::vector<RadioPowerParams> param_suite() {
+  std::vector<RadioPowerParams> suite;
+  suite.push_back(RadioPowerParams::wcdma());
+  suite.push_back(RadioPowerParams::lte());  // promo_fach_ms == 0
+  RadioPowerParams zero_tails = RadioPowerParams::wcdma();
+  zero_tails.dch_tail_ms = 0;
+  zero_tails.fach_tail_ms = 0;
+  suite.push_back(zero_tails);
+  RadioPowerParams zero_promos = RadioPowerParams::wcdma();
+  zero_promos.promo_idle_ms = 0;
+  zero_promos.promo_fach_ms = 0;
+  suite.push_back(zero_promos);
+  return suite;
+}
+
+TEST(AccountColumns, MatchesReferenceOnEdgeCases) {
+  const TimeMs horizon = 100000;
+  std::vector<std::pair<std::string, IntervalSet>> cases;
+  cases.emplace_back("empty", IntervalSet{});
+  {
+    IntervalSet one;
+    one.add(1000, 1500);
+    cases.emplace_back("single", one);
+  }
+  {
+    // Gaps landing exactly on the DCH-tail and FACH-tail boundaries —
+    // the promotion-class edges the boolean selectors must get right.
+    IntervalSet s;
+    const RadioPowerParams p = RadioPowerParams::wcdma();
+    TimeMs connected = 0 + p.promo_idle_ms + 500;  // first transfer end
+    s.add(0, 500);
+    s.add(connected + p.dch_tail_ms, connected + p.dch_tail_ms + 100);
+    cases.emplace_back("gap-at-dch-boundary", s);
+  }
+  {
+    IntervalSet s;
+    s.add(0, 200);
+    s.add(100000 - 300, 100000);  // ends exactly at the horizon
+    cases.emplace_back("ends-at-horizon", s);
+  }
+  {
+    IntervalSet s;  // back-to-back: connected period just extends
+    s.add(0, 1000);
+    s.add(1001, 2000);
+    s.add(2001, 3000);
+    cases.emplace_back("near-contiguous", s);
+  }
+  for (const RadioPowerParams& params : param_suite()) {
+    for (const auto& [name, set] : cases) {
+      expect_matches_reference(set, params, horizon, nullptr, name);
+      // With an allowed set cutting shortly after each transfer.
+      RadioTimeline timeline(horizon);
+      timeline.allow(set);
+      for (const Interval& iv : set.intervals()) {
+        timeline.allow(iv.begin, iv.end + 700);
+      }
+      const IntervalSet allowed = std::move(timeline).build();
+      expect_matches_reference(set, params, horizon, &allowed,
+                               name + "+allowed");
+    }
+  }
+}
+
+TEST(AccountColumns, FuzzMatchesReference) {
+  std::mt19937_64 rng(20260808);
+  const std::vector<RadioPowerParams> params = param_suite();
+  for (int iter = 0; iter < 400; ++iter) {
+    const TimeMs horizon = 50000 + static_cast<TimeMs>(rng() % 200000);
+    const int n = static_cast<int>(rng() % 40);
+    IntervalSet transfers;
+    TimeMs t = static_cast<TimeMs>(rng() % 2000);
+    for (int k = 0; k < n && t < horizon; ++k) {
+      const DurationMs dur = 1 + static_cast<DurationMs>(rng() % 4000);
+      const TimeMs end = std::min<TimeMs>(t + dur, horizon);
+      if (t < end) transfers.add(t, end);
+      t = end + static_cast<TimeMs>(rng() % 20000);
+    }
+    const RadioPowerParams& p = params[iter % params.size()];
+    const std::string context = "iter " + std::to_string(iter);
+    expect_matches_reference(transfers, p, horizon, nullptr, context);
+
+    // Allowed set: the transfers themselves plus random extra windows,
+    // so tails are cut at random boundaries.
+    RadioTimeline timeline(horizon);
+    timeline.allow(transfers);
+    for (const Interval& iv : transfers.intervals()) {
+      timeline.allow(iv.begin, iv.end + static_cast<DurationMs>(
+                                             rng() % 30000));
+    }
+    for (int w = 0; w < 4; ++w) {
+      const TimeMs b = static_cast<TimeMs>(rng() % horizon);
+      timeline.allow(b, b + static_cast<DurationMs>(rng() % 10000));
+    }
+    const IntervalSet allowed = std::move(timeline).build();
+    expect_matches_reference(transfers, p, horizon, &allowed,
+                             context + "+allowed");
+  }
+}
+
+TEST(AccountColumns, RejectsInvalidInputLikeReference) {
+  const RadioPowerParams params = RadioPowerParams::wcdma();
+  {
+    IntervalSet past;  // extends beyond the horizon
+    past.add(500, 2000);
+    EXPECT_THROW(account_interval_set(past, params, 1000), Error);
+    EXPECT_THROW(account_transfers(past, params, 1000), Error);
+  }
+  {
+    IntervalSet transfers;  // outside the allowed set
+    transfers.add(100, 200);
+    transfers.add(5000, 6000);
+    IntervalSet allowed;
+    allowed.add(100, 200);
+    EXPECT_THROW(account_interval_set(transfers, params, 10000, &allowed),
+                 Error);
+    EXPECT_THROW(account_transfers(transfers, params, 10000, &allowed),
+                 Error);
+  }
+  {
+    // Mismatched column lengths (the span entry point only).
+    const std::vector<TimeMs> begins = {0, 100};
+    const std::vector<TimeMs> ends = {50};
+    EXPECT_THROW(account_columns(begins, ends, params, 1000), Error);
+  }
 }
 
 }  // namespace
