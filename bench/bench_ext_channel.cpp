@@ -27,7 +27,7 @@ void print_figure() {
                 "state (Bartendr-style)");
   eval::ExperimentConfig cfg;
   cfg.seed = bench::kDefaultSeed;
-  const RadioPowerParams radio = cfg.netmaster.profit.radio;
+  const RadioModel radio = cfg.netmaster.profit.radio;
 
   eval::Table t({"volunteer", "policy", "RRC energy (J)",
                  "signal penalty (J)", "total (J)", "moved"});

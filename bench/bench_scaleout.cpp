@@ -62,7 +62,7 @@ std::vector<UserResult> run_population(int n, unsigned max_threads = 0) {
         user_cfg.seed = cfg.seed + i;
         const eval::VolunteerTraces traces =
             eval::make_traces(users[i], user_cfg);
-        const RadioPowerParams radio = cfg.netmaster.profit.radio;
+        const RadioModel radio = cfg.netmaster.profit.radio;
         const sim::SimReport base = sim::account(
             traces.eval, policy::BaselinePolicy().run(traces.eval), radio);
         const policy::NetMasterPolicy nm(traces.training, cfg.netmaster);
@@ -133,7 +133,7 @@ std::vector<double> legacy_sweep_energy(
     const std::vector<synth::UserProfile>& users,
     const eval::ExperimentConfig& cfg,
     const std::vector<eval::PolicySpec>& suite) {
-  const RadioPowerParams radio = cfg.netmaster.profit.radio;
+  const RadioModel radio = cfg.netmaster.profit.radio;
   std::vector<double> energy(users.size() * suite.size());
   parallel_for(users.size(), [&](std::size_t u) {
     for (std::size_t p = 0; p < suite.size(); ++p) {
@@ -348,7 +348,7 @@ struct BarrierRun {
 /// the cell grid behind another.
 BarrierRun run_barrier(const std::vector<eval::VolunteerTraces>& fleet,
                        const std::vector<eval::PolicySpec>& suite,
-                       const RadioPowerParams& radio, unsigned threads) {
+                       const RadioModel& radio, unsigned threads) {
   const std::size_t n = fleet.size();
   const std::size_t m = suite.size();
   BarrierRun out;
@@ -479,7 +479,7 @@ void print_skew_figure() {
   eval::ExperimentConfig cfg;
   cfg.seed = bench::kDefaultSeed;
   const auto suite = eval::standard_policy_suite(cfg.netmaster);
-  const RadioPowerParams radio = cfg.netmaster.profit.radio;
+  const RadioModel radio = cfg.netmaster.profit.radio;
   const auto fleet = skewed_fleet(16);
 
   // Per-task durations measured single-threaded, element-wise best of

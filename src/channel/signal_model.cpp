@@ -96,14 +96,14 @@ double SignalTrace::rate_multiplier(double quality) {
 
 double signal_energy_penalty_j(
     const std::vector<sim::ExecutedTransfer>& transfers,
-    const SignalTrace& signal, const RadioPowerParams& params) {
+    const SignalTrace& signal, const RadioModel& model) {
   double penalty = 0.0;
   for (const sim::ExecutedTransfer& t : transfers) {
     if (t.duration <= 0) continue;
     const double q = signal.mean_quality(
         t.start, std::min(t.start + t.duration, signal.horizon()));
     const double mult = SignalTrace::power_multiplier(q);
-    penalty += params.dch_mw * static_cast<double>(t.duration) * 1e-6 *
+    penalty += model.active_mw * static_cast<double>(t.duration) * 1e-6 *
                (mult - 1.0);
   }
   return penalty;
@@ -113,9 +113,9 @@ std::size_t apply_channel_awareness(sim::PolicyOutcome& outcome,
                                     const UserTrace& eval,
                                     const SignalTrace& signal,
                                     DurationMs window_ms,
-                                    const RadioPowerParams& params) {
+                                    const RadioModel& model) {
   NM_REQUIRE(window_ms >= 0, "window must be non-negative");
-  params.validate();
+  model.validate();
   const TimeMs horizon = eval.trace_end();
   NM_REQUIRE(signal.horizon() >= horizon,
              "signal trace must cover the evaluation horizon");
@@ -129,7 +129,7 @@ std::size_t apply_channel_awareness(sim::PolicyOutcome& outcome,
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     return outcome.transfers[a].start < outcome.transfers[b].start;
   });
-  const DurationMs reach = params.promo_idle_ms + 3000;
+  const DurationMs reach = model.promo_idle_ms + 3000;
 
   // Per-batch signal-power cost of a shift delta.
   const auto batch_cost = [&](const std::vector<std::size_t>& batch,
@@ -140,7 +140,7 @@ std::size_t apply_channel_awareness(sim::PolicyOutcome& outcome,
       const TimeMs begin = t.start + delta;
       const double q = signal.mean_quality(
           begin, std::min<TimeMs>(begin + t.duration, horizon));
-      cost += params.dch_mw * static_cast<double>(t.duration) * 1e-6 *
+      cost += model.active_mw * static_cast<double>(t.duration) * 1e-6 *
               SignalTrace::power_multiplier(q);
     }
     return cost;

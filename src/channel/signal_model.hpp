@@ -64,12 +64,13 @@ class SignalTrace {
 };
 
 /// Extra active-state energy a transfer schedule pays for signal
-/// conditions: for each executed transfer, DCH energy scaled by
-/// (power_multiplier(mean quality during the transfer) − 1). Added on
-/// top of the base RRC accounting, which assumes nominal signal.
+/// conditions: for each executed transfer, active-state energy scaled
+/// by (power_multiplier(mean quality during the transfer) − 1). Added
+/// on top of the base RRC accounting, which assumes nominal signal.
+/// Takes any RadioModel (RadioPowerParams converts implicitly).
 double signal_energy_penalty_j(
     const std::vector<sim::ExecutedTransfer>& transfers,
-    const SignalTrace& signal, const RadioPowerParams& params);
+    const SignalTrace& signal, const RadioModel& model);
 
 /// Channel-aware post-pass (the future-work extension), Bartendr
 /// style: the executed schedule is decomposed into *batches* (transfers
@@ -84,6 +85,6 @@ std::size_t apply_channel_awareness(sim::PolicyOutcome& outcome,
                                     const UserTrace& eval,
                                     const SignalTrace& signal,
                                     DurationMs window_ms,
-                                    const RadioPowerParams& params);
+                                    const RadioModel& model);
 
 }  // namespace netmaster::channel

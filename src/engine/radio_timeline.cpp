@@ -29,6 +29,7 @@ void RadioTimeline::allow_windows(const std::vector<Interval>& windows) {
 void RadioTimeline::allow_transfers(
     const std::vector<sim::ExecutedTransfer>& transfers, DurationMs grace) {
   for (const sim::ExecutedTransfer& t : transfers) {
+    if (t.radio != RadioId::kCellular) continue;
     allow(t.start, t.start + t.duration + grace);
   }
 }
@@ -51,10 +52,10 @@ constexpr TimeMs kFar = std::numeric_limits<TimeMs>::max() / 4;
 
 RadioAccounting account_columns(std::span<const TimeMs> begins,
                                 std::span<const TimeMs> ends,
-                                const RadioPowerParams& params,
+                                const RadioModel& model,
                                 TimeMs horizon_end,
                                 const IntervalSet* radio_allowed) {
-  params.validate();
+  model.validate();
   const std::size_t n = begins.size();
   NM_REQUIRE(n == ends.size(),
              "transfer columns must have equal lengths");
@@ -80,13 +81,14 @@ RadioAccounting account_columns(std::span<const TimeMs> begins,
     }
   }
 
-  const DurationMs dch_tail = params.dch_tail_ms;
-  const DurationMs fach_tail = params.fach_tail_ms;
+  const std::size_t nt = model.num_tails;
+  const DurationMs total_tail = model.total_tail_ms();
   DurationMs active_ms = 0;
-  DurationMs tail_dch = 0;
-  DurationMs tail_fach = 0;
+  std::array<DurationMs, kMaxRadioTiers> tail_ms = {0, 0, 0, 0};
   DurationMs promo_ms = 0;
+  DurationMs assoc_total = 0;
   int promotions = 0;
+  int associations = 0;
 
   // End-of-allowed-window cursor. Query points (the running
   // connected_until) are non-decreasing, so one forward scan serves
@@ -101,49 +103,66 @@ RadioAccounting account_columns(std::span<const TimeMs> begins,
     return t;
   };
 
+  // Drains a tail span through the tier chain (clamped per tier).
+  const auto charge_tail = [&](DurationMs span) {
+    for (std::size_t i = 0; i < nt; ++i) {
+      const DurationMs d = std::min(span, model.tails[i].duration_ms);
+      tail_ms[i] += d;
+      span -= d;
+    }
+  };
+
   TimeMs connected_until = 0;
   if (n > 0) {
-    // Peel the first transfer: always a cold promotion from IDLE.
-    const DurationMs promo0 = params.promo_idle_ms;
+    // Peel the first transfer: always a cold attach from IDLE
+    // (association burst, if the model has one, then the promotion).
+    const DurationMs promo0 = model.promo_idle_ms;
     promotions += promo0 > 0;
     promo_ms += promo0;
+    assoc_total += model.assoc_ms;
+    associations += model.assoc_ms > 0;
     const DurationMs dur0 = ends[0] - begins[0];
     active_ms += dur0;
-    connected_until = begins[0] + promo0 + dur0;
+    connected_until = begins[0] + model.assoc_ms + promo0 + dur0;
 
     for (std::size_t k = 1; k < n; ++k) {
       const TimeMs b = begins[k];
       const DurationMs dur = ends[k] - b;
       const TimeMs prev = connected_until;
       const TimeMs cut = allowed_until(prev);
-      const TimeMs warm_dch_end = prev + dch_tail;
-      const TimeMs warm_fach_end = warm_dch_end + fach_tail;
+      const TimeMs warm_end = prev + total_tail;
 
       // Inter-transfer tail: runs from prev to min(b, cut, tail
       // expiry). The no-gap case (b <= prev: the connected period
       // simply extends) clamps the span to zero — no branch.
-      const TimeMs tail_stop = std::min({b, cut, warm_fach_end});
-      const DurationMs span = std::max<DurationMs>(tail_stop - prev, 0);
-      const DurationMs dch = std::min(span, dch_tail);
-      tail_dch += dch;
-      tail_fach += std::min<DurationMs>(span - dch, fach_tail);
+      const TimeMs tail_stop = std::min({b, cut, warm_end});
+      charge_tail(std::max<DurationMs>(tail_stop - prev, 0));
 
-      // Promotion class by boolean arithmetic: inside the surviving
-      // DCH tail -> free, inside the FACH tail -> FACH promotion,
-      // otherwise (expired or cut) -> cold IDLE promotion.
+      // Promotion class by boolean arithmetic: a monotone scan over
+      // the tier boundaries selects the surviving tier the transfer
+      // lands in (paying that tier's re-promotion); a gap past the
+      // chain — or past the allowed cut — is a cold attach.
       const bool gap = b > prev;
       const bool within = b <= cut;
-      const bool in_dch = gap & within & (b < warm_dch_end);
-      const bool in_fach =
-          gap & within & !(b < warm_dch_end) & (b < warm_fach_end);
-      const bool cold = gap & !(in_dch | in_fach);
-      const DurationMs promo =
-          static_cast<DurationMs>(in_fach) * params.promo_fach_ms +
-          static_cast<DurationMs>(cold) * params.promo_idle_ms;
+      DurationMs promo = 0;
+      bool matched = false;
+      TimeMs boundary = prev;
+      for (std::size_t i = 0; i < nt; ++i) {
+        boundary += model.tails[i].duration_ms;
+        const bool in_tier = gap & within & !matched & (b < boundary);
+        promo += static_cast<DurationMs>(in_tier) * model.tails[i].promo_ms;
+        matched |= in_tier;
+      }
+      const bool cold = gap & !matched;
+      promo += static_cast<DurationMs>(cold) * model.promo_idle_ms;
+      const DurationMs assoc =
+          static_cast<DurationMs>(cold) * model.assoc_ms;
+      assoc_total += assoc;
+      associations += assoc > 0;
       promotions += promo > 0;
       promo_ms += promo;
       active_ms += dur;
-      connected_until = std::max(b, prev) + promo + dur;
+      connected_until = std::max(b, prev) + assoc + promo + dur;
     }
 
     // Trailing tail after the final transfer, clipped at the horizon
@@ -151,34 +170,33 @@ RadioAccounting account_columns(std::span<const TimeMs> begins,
     if (connected_until < horizon_end) {
       const TimeMs cut = allowed_until(connected_until);
       const TimeMs stop =
-          std::min({horizon_end, cut,
-                    connected_until + dch_tail + fach_tail});
-      const DurationMs span =
-          std::max<DurationMs>(stop - connected_until, 0);
-      const DurationMs dch = std::min(span, dch_tail);
-      tail_dch += dch;
-      tail_fach += std::min<DurationMs>(span - dch, fach_tail);
+          std::min({horizon_end, cut, connected_until + total_tail});
+      charge_tail(std::max<DurationMs>(stop - connected_until, 0));
     }
   }
 
-  // Energy falls out of the four integer totals exactly as in the
+  // Energy falls out of the integer totals exactly as in the
   // reference — same terms, same order, bit-identical doubles.
   RadioAccounting acc;
   acc.active_ms = active_ms;
-  acc.tail_dch_ms = tail_dch;
-  acc.tail_fach_ms = tail_fach;
+  acc.tail_tier_ms = tail_ms;
   acc.promo_ms = promo_ms;
+  acc.assoc_ms = assoc_total;
   acc.promotions = promotions;
-  acc.radio_on_ms = active_ms + tail_dch + tail_fach + promo_ms;
-  acc.energy_j = energy_joules(params.dch_mw, acc.active_ms) +
-                 energy_joules(params.dch_mw, acc.tail_dch_ms) +
-                 energy_joules(params.fach_mw, acc.tail_fach_ms) +
-                 energy_joules(params.promo_mw, acc.promo_ms);
+  acc.associations = associations;
+  acc.radio_on_ms = active_ms + promo_ms + assoc_total;
+  for (std::size_t i = 0; i < nt; ++i) acc.radio_on_ms += tail_ms[i];
+  acc.energy_j = energy_joules(model.active_mw, acc.active_ms);
+  for (std::size_t i = 0; i < nt; ++i) {
+    acc.energy_j += energy_joules(model.tails[i].power_mw, tail_ms[i]);
+  }
+  acc.energy_j += energy_joules(model.promo_mw, acc.promo_ms);
+  acc.energy_j += energy_joules(model.assoc_mw, acc.assoc_ms);
   return acc;
 }
 
 RadioAccounting account_interval_set(const IntervalSet& transfers,
-                                     const RadioPowerParams& params,
+                                     const RadioModel& model,
                                      TimeMs horizon_end,
                                      const IntervalSet* radio_allowed) {
   // Scatter the AoS intervals into reusable per-thread columns: the
@@ -195,7 +213,7 @@ RadioAccounting account_interval_set(const IntervalSet& transfers,
     begins.push_back(iv.begin);
     ends.push_back(iv.end);
   }
-  return account_columns(begins, ends, params, horizon_end, radio_allowed);
+  return account_columns(begins, ends, model, horizon_end, radio_allowed);
 }
 
 }  // namespace netmaster::engine

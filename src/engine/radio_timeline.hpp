@@ -38,6 +38,9 @@ class RadioTimeline {
 
   /// Allows each executed transfer's interval, extended by `grace`
   /// (the release-signalling delay before the forced dormancy drop).
+  /// Transfers assigned to a non-cellular radio are skipped: this
+  /// timeline models the cellular data switch, and a Wi-Fi transfer
+  /// does not hold the cellular radio open.
   void allow_transfers(const std::vector<sim::ExecutedTransfer>& transfers,
                        DurationMs grace = 0);
 
@@ -55,21 +58,24 @@ class RadioTimeline {
 
 /// Vectorized RRC state-residency accounting over SoA time columns —
 /// the replay-hot-path form of power/radio_model.cpp's
-/// account_transfers. `begins`/`ends` are the canonical transfer
-/// columns (sorted, disjoint, non-empty, equal length — exactly the
-/// layout of mem::SessionColumns and of an IntervalSet's split
-/// fields). The kernel makes a single branch-minimized pass: tail
-/// spans and promotion classes are computed with max/min clamps and
-/// boolean-arithmetic selectors instead of the reference
-/// implementation's three-way branch, and the allowed-set lookups are
-/// two monotone merge cursors instead of per-transfer binary searches
-/// (O(n + m) total). Energy is derived once at the end from the four
-/// integer millisecond totals, so results are bit-for-bit identical to
-/// account_transfers on every input — a property the differential
-/// tests in radio_timeline_test fuzz.
+/// account_transfers, generalized over the N-tier tail chain.
+/// `begins`/`ends` are the canonical transfer columns (sorted,
+/// disjoint, non-empty, equal length — exactly the layout of
+/// mem::SessionColumns and of an IntervalSet's split fields). The
+/// kernel makes a single branch-minimized pass: tail spans drain
+/// through the tier chain with max/min clamps, promotion classes are
+/// boolean-arithmetic selectors over the tier boundaries instead of
+/// the reference implementation's branchy tier search, and the
+/// allowed-set lookups are two monotone merge cursors instead of
+/// per-transfer binary searches (O(n + m) total). Energy is derived
+/// once at the end from the integer millisecond totals, so results are
+/// bit-for-bit identical to account_transfers on every input — a
+/// property the differential tests in radio_timeline_test fuzz over
+/// random 1–4-tier models. Takes any RadioModel (RadioPowerParams
+/// converts implicitly).
 RadioAccounting account_columns(std::span<const TimeMs> begins,
                                 std::span<const TimeMs> ends,
-                                const RadioPowerParams& params,
+                                const RadioModel& model,
                                 TimeMs horizon_end,
                                 const IntervalSet* radio_allowed = nullptr);
 
@@ -78,7 +84,7 @@ RadioAccounting account_columns(std::span<const TimeMs> begins,
 /// allocation) and runs the vectorized kernel. Drop-in replacement for
 /// account_transfers on the accounting hot path.
 RadioAccounting account_interval_set(
-    const IntervalSet& transfers, const RadioPowerParams& params,
+    const IntervalSet& transfers, const RadioModel& model,
     TimeMs horizon_end, const IntervalSet* radio_allowed = nullptr);
 
 }  // namespace netmaster::engine

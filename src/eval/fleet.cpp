@@ -126,8 +126,7 @@ void finalize_report(const EvalSession& session, FleetReport& report,
 /// order. A throwing cell fails alone; a user whose preparation failed
 /// poisons only its own row.
 void run_cell(const EvalSession& session, const PolicySpec& spec,
-              const RadioPowerParams& radio, std::size_t u,
-              FleetCell& cell) {
+              std::size_t u, FleetCell& cell) {
   cell.user = session.user_id(u);
   cell.profile_name = session.profile_name(u);
   cell.policy = spec.name;
@@ -155,7 +154,16 @@ void run_cell(const EvalSession& session, const PolicySpec& spec,
       outcome = pol->run(session.index(u));
     }
     const obs::SpanScope account_span("fleet.account");
-    cell.report = sim::account(traces.eval(), outcome, radio);
+    // Per-spec radio override, else the session's models. All-cellular
+    // outcomes account bit-identically to the single-radio path.
+    RadioSet radios;
+    if (spec.radios) {
+      radios = *spec.radios;
+    } else {
+      radios.cellular = session.config().netmaster.profit.radio;
+      radios.wifi = session.config().netmaster.profit.wifi;
+    }
+    cell.report = sim::account(traces.eval(), outcome, radios);
   } catch (const std::exception& e) {
     cell.failed = true;
     cell.error = e.what();
@@ -196,13 +204,11 @@ void schedule_cells(const EvalSession& session,
     const std::size_t u = c / m;
     const std::size_t p = c % m;
     // The graph runs after this function returns, so the task resolves
-    // the radio params through the (caller-kept-alive) session instead
+    // the radio models through the (caller-kept-alive) session instead
     // of capturing a local reference.
     const jobs::TaskId cell =
         graph.add([&session, &policies, &report, u, p, c] {
-          run_cell(session, policies[p],
-                   session.config().netmaster.profit.radio, u,
-                   report.cells[c]);
+          run_cell(session, policies[p], u, report.cells[c]);
         });
     if (prep_tasks != nullptr) {
       graph.add_dependency((*prep_tasks)[u], cell);

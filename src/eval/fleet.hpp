@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,16 @@ struct PolicySpec {
   std::function<double(const policy::Policy& policy,
                        const VolunteerTraces& traces)>
       probe;
+  /// Per-spec radio override for the accounting pass: when set, this
+  /// spec's cells are accounted under these radio models instead of the
+  /// session's (config().netmaster.profit.{radio, wifi}). This is how
+  /// one sweep grid carries policy columns on different radio profiles
+  /// (WCDMA vs. LTE vs. NR) without rebuilding the session per profile.
+  /// Note the relative metrics (energy_saving, radio_on_fraction) keep
+  /// the session baseline as denominator — cross-profile comparisons
+  /// should ratio raw cell energies against a baseline column carrying
+  /// the same override.
+  std::optional<RadioSet> radios;
 };
 
 /// The §VI comparison suite: baseline, oracle, NetMaster, and

@@ -164,7 +164,7 @@ void EvalSession::prepare_user(std::size_t u) {
         pin.eval(), *state.arena, pin.lifetime());
     const policy::BaselinePolicy base;
     const obs::SpanScope account_span("fleet.account");
-    const RadioPowerParams& radio = config_.netmaster.profit.radio;
+    const RadioModel& radio = config_.netmaster.profit.radio;
     state.baseline =
         sim::account(pin.eval(), base.run(*state.index), radio);
   } catch (const std::exception& e) {

@@ -148,6 +148,22 @@ bool SlotPredictor::is_predicted_active(TimeMs t) const {
          delta_for_day(day_of(t));
 }
 
+IntervalSet SlotPredictor::presence_windows(int day,
+                                            double min_probability) const {
+  NM_REQUIRE(day >= 0, "day must be non-negative");
+  NM_REQUIRE(min_probability >= 0.0 && min_probability <= 1.0,
+             "min_probability must be a probability");
+  IntervalSet windows;
+  const HourStats& s = model_.stats(day_kind(day));
+  for (int h = 0; h < kHoursPerDay; ++h) {
+    if (s.pr_active[h] >= min_probability) {
+      const TimeMs begin = hour_start(day, h);
+      windows.add(begin, begin + kMsPerHour);  // adjacent hours auto-merge
+    }
+  }
+  return windows;
+}
+
 double SlotPredictor::active_probability_integral(TimeMs from,
                                                   TimeMs to) const {
   NM_REQUIRE(from >= 0 && to >= from, "integral bounds must be ordered");

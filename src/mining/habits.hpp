@@ -169,6 +169,16 @@ class SlotPredictor {
   /// the second factor of the paper's penalty ΔP (Eq. 4).
   double active_probability_integral(TimeMs from, TimeMs to) const;
 
+  /// Predicted Wi-Fi presence windows for one (absolute) day: the hours
+  /// whose Pr[u] is at least `min_probability` (adjacent hours merge).
+  /// High-probability habit hours are the hours the user reliably
+  /// spends at a routine location — home or office, i.e. at a familiar
+  /// AP — so the threshold (deliberately stricter than the δ slot
+  /// threshold) is the habit model's proxy for Wi-Fi availability, in
+  /// the spirit of predictive green wireless access. The multi-radio
+  /// co-scheduler offers these windows as offload knapsacks.
+  IntervalSet presence_windows(int day, double min_probability) const;
+
  private:
   HabitModel model_;
   PredictorConfig config_;

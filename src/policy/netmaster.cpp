@@ -98,6 +98,12 @@ void NetMasterPolicy::validate_and_gate() {
   NM_REQUIRE(std::isfinite(config.robustness.drift_confidence_gain) &&
                  config.robustness.drift_confidence_gain >= 0.0,
              "drift_confidence_gain must be finite and non-negative");
+  NM_REQUIRE(config.wifi_presence_delta >= 0.0 &&
+                 config.wifi_presence_delta <= 1.0,
+             "wifi_presence_delta must be a probability");
+  if (config.enable_wifi_offload) {
+    config.profit.wifi.validate();
+  }
 
   // Degradation gate: refuse to act on a model mined from too little
   // or too damaged history. The reason string is surfaced through
@@ -179,6 +185,18 @@ sim::PolicyOutcome NetMasterPolicy::run(
   const std::vector<Interval>& slot_windows = active.intervals();
   if (config_.slot_powered_radio) timeline.allow_windows(slot_windows);
 
+  // ---- Wi-Fi presence prediction (multi-radio co-scheduling). ----
+  // The habit model's high-probability hours proxy for being at a
+  // familiar AP; each merged window becomes an offload knapsack.
+  IntervalSet wifi_presence;
+  if (config_.enable_wifi_offload && config_.enable_prediction) {
+    for (int day = 0; day < eval.num_days(); ++day) {
+      wifi_presence.add(
+          predictor_.presence_windows(day, config_.wifi_presence_delta));
+    }
+  }
+  const std::vector<Interval>& wifi_windows = wifi_presence.intervals();
+
   // ---- Classification pass. ----
   // Deferrable screen-off activities are held for a real radio-on
   // opportunity; everything else runs untouched.
@@ -235,9 +253,17 @@ sim::PolicyOutcome NetMasterPolicy::run(
 
   // ---- Knapsack scheduling over the pending set (§IV, Algorithm 1). ----
   std::map<std::size_t, int> assignment;  // pending idx -> slot index
-  if (!slot_windows.empty() && !pending.empty()) {
-    const sched::Instance inst = sched::build_instance(
-        slot_windows, pending, predictor_, config_.profit);
+  if ((!slot_windows.empty() || !wifi_windows.empty()) && !pending.empty()) {
+    // With no Wi-Fi windows the multi-radio builder reduces exactly to
+    // build_instance; call the single-radio builder anyway so the
+    // baseline path stays byte-for-byte what it always was.
+    const sched::Instance inst =
+        wifi_windows.empty()
+            ? sched::build_instance(slot_windows, pending, predictor_,
+                                    config_.profit)
+            : sched::build_multiradio_instance(slot_windows, wifi_windows,
+                                               pending, predictor_,
+                                               config_.profit);
     sched::SolverOptions solver_options;
     solver_options.choice = config_.solver;
     solver_options.eps = config_.eps;
@@ -255,6 +281,24 @@ sim::PolicyOutcome NetMasterPolicy::run(
     const auto it = assignment.find(p);
     if (it == assignment.end()) {
       fallback.push_back(p);
+      continue;
+    }
+    if (static_cast<std::size_t>(it->second) >= slot_windows.size()) {
+      // Wi-Fi offload: the same bytes execute on the WLAN inside the
+      // assigned presence window — immediately when the arrival is
+      // already covered, at the window's begin otherwise. Wi-Fi does
+      // not ride the cellular data switch, so no session search.
+      const Interval& win = wifi_windows[static_cast<std::size_t>(
+          it->second) - slot_windows.size()];
+      const DurationMs dur = sched::wifi_transfer_ms(act, config_.profit);
+      const TimeMs release = std::clamp<TimeMs>(
+          std::max(act.start, win.begin), act.start, horizon - dur);
+      outcome.transfers.push_back(
+          {pending_index[p], release, dur, RadioId::kWifi});
+      if (release > act.start) {
+        outcome.deferral_latency_s.push_back(
+            to_seconds(release - act.start));
+      }
       continue;
     }
     const Interval& slot =

@@ -80,6 +80,19 @@ struct NetMasterConfig {
   bool enable_duty = true;
   bool enable_special_apps = true;
 
+  /// Multi-radio co-scheduling: when set (and prediction is enabled),
+  /// the knapsack also offers the habit model's predicted Wi-Fi
+  /// presence windows as offload knapsacks (profit.wifi /
+  /// profit.wifi_bandwidth_kbps describe the WLAN), and activities the
+  /// solver assigns there execute on Wi-Fi instead of cellular. Off by
+  /// default: the paper's single-radio system is the baseline and all
+  /// its schedules stay bit-identical.
+  bool enable_wifi_offload = false;
+  /// Pr[u] threshold for SlotPredictor::presence_windows — hours at
+  /// least this habitual are assumed to be spent at a familiar AP.
+  /// Deliberately stricter than the δ slot thresholds.
+  double wifi_presence_delta = 0.55;
+
   /// When set, the radio stays powered across whole predicted active
   /// slots (tails run freely inside U) and in-slot traffic is left
   /// untouched, instead of the default aggressive in-slot dormancy.

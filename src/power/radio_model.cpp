@@ -1,6 +1,7 @@
 #include "power/radio_model.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/error.hpp"
@@ -54,34 +55,127 @@ void RadioPowerParams::validate() const {
              "tail timers must be non-negative");
 }
 
+RadioModel::RadioModel(const RadioPowerParams& params) {
+  kind = RadioKind::kWcdma;
+  idle_mw = params.idle_mw;
+  active_mw = params.dch_mw;
+  promo_mw = params.promo_mw;
+  promo_idle_ms = params.promo_idle_ms;
+  assoc_mw = 0.0;
+  assoc_ms = 0;
+  tails[0] = TailTier{params.dch_mw, params.dch_tail_ms, 0};
+  tails[1] = TailTier{params.fach_mw, params.fach_tail_ms,
+                      params.promo_fach_ms};
+  tails[2] = TailTier{};
+  tails[3] = TailTier{};
+  num_tails = 2;
+}
+
+RadioModel RadioModel::wcdma() { return RadioModel(RadioPowerParams::wcdma()); }
+
+RadioModel RadioModel::lte_cdrx() {
+  RadioModel m(RadioPowerParams::lte());
+  m.kind = RadioKind::kLteCdrx;
+  return m;
+}
+
+RadioModel RadioModel::nr_cdrx() {
+  // 5G NR numbers in the spirit of the 3GPP CDRX power studies: hot
+  // connected state, then inactivity -> short DRX -> long DRX before
+  // RRC_IDLE, each tier cheaper and slower to wake from than the last.
+  RadioModel m;
+  m.kind = RadioKind::kNrCdrx;
+  m.idle_mw = 15.0;
+  m.active_mw = 1650.0;
+  m.promo_mw = 1650.0;
+  m.promo_idle_ms = 120;
+  m.assoc_mw = 0.0;
+  m.assoc_ms = 0;
+  m.tails[0] = TailTier{1650.0, 100, 0};    // inactivity timer
+  m.tails[1] = TailTier{1100.0, 2000, 5};   // short-cycle DRX
+  m.tails[2] = TailTier{700.0, 8000, 25};   // long-cycle DRX
+  m.tails[3] = TailTier{};
+  m.num_tails = 3;
+  return m;
+}
+
+RadioModel RadioModel::wifi() {
+  // Wi-Fi PSM: the active state is far cheaper per millisecond than
+  // cellular, the tail is a short PSM-exit linger, but a cold attach
+  // pays a scan + associate burst before any data moves.
+  RadioModel m;
+  m.kind = RadioKind::kWifi;
+  m.idle_mw = 10.0;
+  m.active_mw = 350.0;
+  m.promo_mw = 300.0;
+  m.promo_idle_ms = 80;
+  m.assoc_mw = 500.0;
+  m.assoc_ms = 2500;
+  m.tails[0] = TailTier{280.0, 200, 0};  // PSM-exit linger
+  m.tails[1] = TailTier{};
+  m.tails[2] = TailTier{};
+  m.tails[3] = TailTier{};
+  m.num_tails = 1;
+  return m;
+}
+
+void RadioModel::validate() const {
+  NM_REQUIRE(std::isfinite(idle_mw) && std::isfinite(active_mw) &&
+                 std::isfinite(promo_mw) && std::isfinite(assoc_mw),
+             "radio model powers must be finite");
+  NM_REQUIRE(idle_mw >= 0 && active_mw >= 0 && promo_mw >= 0 && assoc_mw >= 0,
+             "radio model powers must be non-negative");
+  NM_REQUIRE(promo_idle_ms >= 0, "promotion delay must be non-negative");
+  NM_REQUIRE(assoc_ms >= 0, "association time must be non-negative");
+  NM_REQUIRE(num_tails <= kMaxRadioTiers,
+             "tail chain exceeds kMaxRadioTiers");
+  double prev_mw = active_mw;
+  for (std::size_t i = 0; i < num_tails; ++i) {
+    const TailTier& tier = tails[i];
+    NM_REQUIRE(std::isfinite(tier.power_mw),
+               "tail tier power must be finite");
+    NM_REQUIRE(tier.power_mw >= 0, "tail tier power must be non-negative");
+    NM_REQUIRE(tier.duration_ms >= 0,
+               "tail tier duration must be non-negative");
+    NM_REQUIRE(tier.promo_ms >= 0,
+               "tail tier promotion delay must be non-negative");
+    NM_REQUIRE(tier.power_mw <= prev_mw,
+               "tail chain power must be non-increasing");
+    prev_mw = tier.power_mw;
+  }
+}
+
 double RadioAccounting::overhead_fraction() const {
   // Everything that is not active transfer time is overhead. Using the
   // time breakdown avoids carrying the parameter set into the result.
   const auto total = static_cast<double>(radio_on_ms);
   if (total <= 0.0) return 0.0;
-  return static_cast<double>(tail_ms() + promo_ms) / total;
+  return static_cast<double>(tail_ms() + promo_ms + assoc_ms) / total;
 }
 
 RadioAccounting account_transfers(const IntervalSet& transfers,
-                                  const RadioPowerParams& params,
+                                  const RadioModel& model,
                                   TimeMs horizon_end,
                                   const IntervalSet* radio_allowed) {
-  params.validate();
+  model.validate();
   RadioAccounting acc;
 
-  // `connected_until` is the end of the current DCH-active period,
-  // including the promotion shift applied to each transfer. A sentinel
-  // below any valid timestamp marks "never connected yet".
+  // `connected_until` is the end of the current connected period,
+  // including the attach/promotion shift applied to each transfer. A
+  // sentinel below any valid timestamp marks "never connected yet".
   constexpr TimeMs kNever = std::numeric_limits<TimeMs>::min();
   TimeMs connected_until = kNever;
+  const DurationMs total_tail = model.total_tail_ms();
 
-  // Charges the tail that ran from `connected_until` until `stop`
-  // (bounded by the tail timers themselves).
+  // Charges the tail chain that ran from `from` until `stop`: the span
+  // drains through the tiers in order, each bounded by its own timer.
   const auto charge_tail = [&](TimeMs from, TimeMs stop) {
-    const DurationMs span = std::max<DurationMs>(stop - from, 0);
-    const DurationMs dch = std::min(span, params.dch_tail_ms);
-    acc.tail_dch_ms += dch;
-    acc.tail_fach_ms += std::min(span - dch, params.fach_tail_ms);
+    DurationMs span = std::max<DurationMs>(stop - from, 0);
+    for (std::size_t i = 0; i < model.num_tails; ++i) {
+      const DurationMs d = std::min(span, model.tails[i].duration_ms);
+      acc.tail_tier_ms[i] += d;
+      span -= d;
+    }
   };
 
   for (const Interval& iv : transfers.intervals()) {
@@ -94,71 +188,106 @@ RadioAccounting account_transfers(const IntervalSet& transfers,
     const DurationMs dur = iv.length();
     TimeMs active_begin = iv.begin;
     DurationMs promo = 0;
+    bool cold = false;
 
     if (connected_until == kNever) {
-      promo = params.promo_idle_ms;
+      cold = true;
     } else if (iv.begin <= connected_until) {
-      // Arrives while DCH is still busy (possibly during a promotion
-      // shift): the connected period simply extends.
+      // Arrives while the connected state is still busy (possibly
+      // during a promotion shift): the connected period simply extends.
       active_begin = connected_until;
     } else {
       // The radio was tailing after the previous transfer; the tail
       // survives until the allowed window closes (or forever when
       // unrestricted).
       const TimeMs cut = allowed_until(radio_allowed, connected_until);
-      const TimeMs warm_dch_end = connected_until + params.dch_tail_ms;
-      const TimeMs warm_fach_end = warm_dch_end + params.fach_tail_ms;
-      const TimeMs tail_stop =
-          std::min({iv.begin, cut, warm_fach_end});
+      const TimeMs warm_end = connected_until + total_tail;
+      const TimeMs tail_stop = std::min({iv.begin, cut, warm_end});
       charge_tail(connected_until, tail_stop);
 
-      if (iv.begin <= cut && iv.begin < warm_dch_end) {
-        // Still in the DCH tail: no promotion.
-      } else if (iv.begin <= cut && iv.begin < warm_fach_end) {
-        promo = params.promo_fach_ms;
+      if (iv.begin <= cut && iv.begin < warm_end) {
+        // Inside some surviving tier: pay that tier's re-promotion.
+        TimeMs boundary = connected_until;
+        for (std::size_t i = 0; i < model.num_tails; ++i) {
+          boundary += model.tails[i].duration_ms;
+          if (iv.begin < boundary) {
+            promo = model.tails[i].promo_ms;
+            break;
+          }
+        }
       } else {
         // The radio reached IDLE (tail expired or was cut).
-        promo = params.promo_idle_ms;
+        cold = true;
       }
     }
 
+    DurationMs assoc = 0;
+    if (cold) {
+      promo = model.promo_idle_ms;
+      assoc = model.assoc_ms;
+      acc.assoc_ms += assoc;
+      acc.associations += assoc > 0;
+    }
     if (promo > 0) ++acc.promotions;
     acc.promo_ms += promo;
     acc.active_ms += dur;
-    connected_until = active_begin + promo + dur;
+    connected_until = active_begin + assoc + promo + dur;
   }
 
   // Trailing tail after the final transfer, clipped at the horizon and
   // the allowed window.
   if (connected_until != kNever && connected_until < horizon_end) {
     const TimeMs cut = allowed_until(radio_allowed, connected_until);
-    const TimeMs stop = std::min(
-        {horizon_end, cut,
-         connected_until + params.dch_tail_ms + params.fach_tail_ms});
+    const TimeMs stop =
+        std::min({horizon_end, cut, connected_until + total_tail});
     charge_tail(connected_until, stop);
   }
 
-  acc.radio_on_ms =
-      acc.active_ms + acc.tail_dch_ms + acc.tail_fach_ms + acc.promo_ms;
-  acc.energy_j = energy_joules(params.dch_mw, acc.active_ms) +
-                 energy_joules(params.dch_mw, acc.tail_dch_ms) +
-                 energy_joules(params.fach_mw, acc.tail_fach_ms) +
-                 energy_joules(params.promo_mw, acc.promo_ms);
+  acc.radio_on_ms = acc.active_ms + acc.promo_ms + acc.assoc_ms;
+  for (std::size_t i = 0; i < model.num_tails; ++i) {
+    acc.radio_on_ms += acc.tail_tier_ms[i];
+  }
+  // Term order matters: active, then the tail chain in order, then
+  // promotion, then association. The two-tail profile reproduces the
+  // historical sum bit for bit (the association term contributes an
+  // exact +0.0 there).
+  acc.energy_j = energy_joules(model.active_mw, acc.active_ms);
+  for (std::size_t i = 0; i < model.num_tails; ++i) {
+    acc.energy_j += energy_joules(model.tails[i].power_mw,
+                                  acc.tail_tier_ms[i]);
+  }
+  acc.energy_j += energy_joules(model.promo_mw, acc.promo_ms);
+  acc.energy_j += energy_joules(model.assoc_mw, acc.assoc_ms);
   return acc;
 }
 
 double isolated_activity_energy(DurationMs transfer_ms,
-                                const RadioPowerParams& params) {
+                                const RadioModel& model) {
   NM_REQUIRE(transfer_ms >= 0, "transfer duration must be non-negative");
-  return energy_joules(params.promo_mw, params.promo_idle_ms) +
-         energy_joules(params.dch_mw, transfer_ms + params.dch_tail_ms) +
-         energy_joules(params.fach_mw, params.fach_tail_ms);
+  double energy = energy_joules(model.assoc_mw, model.assoc_ms) +
+                  energy_joules(model.promo_mw, model.promo_idle_ms);
+  // When the first tail tier runs at connected power (the WCDMA DCH
+  // tail), fold it into the active term as one multiply — this is the
+  // exact historical expression, kept bit-for-bit.
+  std::size_t first = 0;
+  if (model.num_tails > 0 && model.tails[0].power_mw == model.active_mw) {
+    energy += energy_joules(model.active_mw,
+                            transfer_ms + model.tails[0].duration_ms);
+    first = 1;
+  } else {
+    energy += energy_joules(model.active_mw, transfer_ms);
+  }
+  for (std::size_t i = first; i < model.num_tails; ++i) {
+    energy += energy_joules(model.tails[i].power_mw,
+                            model.tails[i].duration_ms);
+  }
+  return energy;
 }
 
 double piggybacked_activity_energy(DurationMs transfer_ms,
-                                   const RadioPowerParams& params) {
+                                   const RadioModel& model) {
   NM_REQUIRE(transfer_ms >= 0, "transfer duration must be non-negative");
-  return energy_joules(params.dch_mw, transfer_ms);
+  return energy_joules(model.active_mw, transfer_ms);
 }
 
 }  // namespace netmaster

@@ -56,6 +56,8 @@ Instance build_instance(std::span<const Interval> active_slots,
          slot_capacity_bytes(inst.slot_windows[i], config)});
   }
 
+  inst.num_cellular_slots = inst.slots.size();
+
   int next_id = 0;
   for (std::size_t a = 0; a < pending.size(); ++a) {
     const NetworkActivity& act = pending[a];
@@ -99,6 +101,155 @@ Instance build_instance(std::span<const Interval> active_slots,
                   deferral_penalty_j(act.start, anchor, predictor, config);
     item.prev_slot = prev_slot;
     item.next_slot = next_slot;
+    inst.items.push_back(item);
+    inst.item_activity.push_back(a);
+  }
+  return inst;
+}
+
+DurationMs wifi_transfer_ms(const NetworkActivity& activity,
+                            const ProfitConfig& config) {
+  NM_REQUIRE(config.wifi_bandwidth_kbps > 0.0,
+             "wifi bandwidth must be positive");
+  // kB/s is bytes-per-millisecond, so the division lands in ms.
+  const double ms = static_cast<double>(activity.total_bytes()) /
+                    config.wifi_bandwidth_kbps;
+  const DurationMs dur =
+      static_cast<DurationMs>(std::llround(std::ceil(ms)));
+  return std::clamp<DurationMs>(dur, 1,
+                                std::max<DurationMs>(activity.duration, 1));
+}
+
+double wifi_offload_saving_j(const NetworkActivity& activity,
+                             const ProfitConfig& config) {
+  return isolated_activity_energy(activity.duration, config.radio) -
+         isolated_activity_energy(wifi_transfer_ms(activity, config),
+                                  config.wifi);
+}
+
+Instance build_multiradio_instance(std::span<const Interval> active_slots,
+                                   std::span<const Interval> wifi_windows,
+                                   std::span<const NetworkActivity> pending,
+                                   const mining::SlotPredictor& predictor,
+                                   const ProfitConfig& config) {
+  Instance inst;
+  inst.slot_windows.assign(active_slots.begin(), active_slots.end());
+  std::sort(inst.slot_windows.begin(), inst.slot_windows.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.begin < b.begin;
+            });
+  for (std::size_t i = 0; i < inst.slot_windows.size(); ++i) {
+    NM_REQUIRE(i == 0 ||
+                   inst.slot_windows[i].begin >= inst.slot_windows[i - 1].end,
+               "active slots must be disjoint");
+    inst.slots.push_back(
+        {static_cast<int>(i),
+         slot_capacity_bytes(inst.slot_windows[i], config)});
+  }
+  const std::size_t num_cell = inst.slot_windows.size();
+  inst.num_cellular_slots = num_cell;
+
+  // Wi-Fi presence windows become knapsacks of their own, appended
+  // after the cellular slots and sized by the WLAN goodput.
+  std::vector<Interval> wifi(wifi_windows.begin(), wifi_windows.end());
+  std::sort(wifi.begin(), wifi.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.begin < b.begin;
+            });
+  for (std::size_t i = 0; i < wifi.size(); ++i) {
+    NM_REQUIRE(i == 0 || wifi[i].begin >= wifi[i - 1].end,
+               "wifi windows must be disjoint");
+    OverlapSlot slot;
+    slot.id = static_cast<int>(num_cell + i);
+    slot.capacity = static_cast<std::int64_t>(
+        config.wifi_bandwidth_kbps * 1000.0 * to_seconds(wifi[i].length()));
+    slot.radio = RadioId::kWifi;
+    inst.slots.push_back(slot);
+    inst.slot_windows.push_back(wifi[i]);
+  }
+
+  int next_id = 0;
+  for (std::size_t a = 0; a < pending.size(); ++a) {
+    const NetworkActivity& act = pending[a];
+    NM_REQUIRE(act.deferrable, "only deferrable activities are schedulable");
+
+    // Cellular candidates, over the cellular prefix only — identical
+    // to build_instance's adjacent-slot search.
+    const auto cell_begin = inst.slot_windows.begin();
+    const auto cell_end = cell_begin + static_cast<std::ptrdiff_t>(num_cell);
+    const auto after = std::upper_bound(
+        cell_begin, cell_end, act.start,
+        [](TimeMs t, const Interval& s) { return t < s.begin; });
+    const int next_slot =
+        after == cell_end ? -1 : static_cast<int>(after - cell_begin);
+    int prev_slot = -1;
+    if (after != cell_begin) {
+      const auto before = std::prev(after);
+      if (before->end > act.start) continue;  // already inside a slot
+      prev_slot = static_cast<int>(before - cell_begin);
+    }
+
+    // Wi-Fi candidate: the presence window containing the arrival
+    // (immediate offload, no deferral) or the next one after it.
+    int wifi_slot = -1;
+    {
+      const auto wafter = std::upper_bound(
+          wifi.begin(), wifi.end(), act.start,
+          [](TimeMs t, const Interval& w) { return t < w.begin; });
+      if (wafter != wifi.begin() && std::prev(wafter)->end > act.start) {
+        wifi_slot = static_cast<int>(std::prev(wafter) - wifi.begin());
+      } else if (wafter != wifi.end()) {
+        wifi_slot = static_cast<int>(wafter - wifi.begin());
+      }
+    }
+
+    if (prev_slot < 0 && next_slot < 0 && wifi_slot < 0) {
+      inst.unschedulable.push_back(a);
+      continue;
+    }
+
+    OverlapItem item;
+    item.id = next_id++;
+    item.weight = act.total_bytes();
+
+    double cell_profit = 0.0;
+    if (prev_slot >= 0 || next_slot >= 0) {
+      const TimeMs anchor =
+          next_slot >= 0
+              ? assignment_anchor(
+                    inst.slot_windows[static_cast<std::size_t>(next_slot)],
+                    act.start)
+              : assignment_anchor(
+                    inst.slot_windows[static_cast<std::size_t>(prev_slot)],
+                    act.start);
+      cell_profit =
+          energy_saving_j(act, config) -
+          deferral_penalty_j(act.start, anchor, predictor, config);
+    }
+
+    if (wifi_slot < 0) {
+      // No Wi-Fi coverage: exactly the single-radio item.
+      item.profit = cell_profit;
+      item.prev_slot = prev_slot;
+      item.next_slot = next_slot;
+    } else {
+      // Two candidates with their own profits: the paper's forward
+      // cellular slot (next if it exists, else the prefetch slot) and
+      // the Wi-Fi window. The Eq. 4 deferral penalty applies to the
+      // Wi-Fi deferral window the same way it does to a cellular one.
+      const Interval& wifi_win =
+          inst.slot_windows[num_cell + static_cast<std::size_t>(wifi_slot)];
+      const TimeMs wifi_anchor = assignment_anchor(wifi_win, act.start);
+      const double wifi_profit =
+          wifi_offload_saving_j(act, config) -
+          deferral_penalty_j(act.start, wifi_anchor, predictor, config);
+      const int cell = next_slot >= 0 ? next_slot : prev_slot;
+      item.prev_slot = cell;  // may be -1: Wi-Fi-only coverage
+      item.next_slot = static_cast<int>(num_cell) + wifi_slot;
+      item.profit = cell >= 0 ? cell_profit : wifi_profit;
+      if (cell >= 0) item.prev_profit = cell_profit;
+      item.next_profit = wifi_profit;
+    }
     inst.items.push_back(item);
     inst.item_activity.push_back(a);
   }

@@ -29,13 +29,26 @@ namespace netmaster::sched {
 
 /// Parameters of the profit/penalty/capacity model.
 struct ProfitConfig {
-  RadioPowerParams radio = RadioPowerParams::wcdma();
+  /// Cellular radio model (the paper's two-tail WCDMA machine by
+  /// default; RadioPowerParams converts implicitly, so call sites may
+  /// still assign the compact parameterisation).
+  RadioModel radio = RadioModel::wcdma();
   /// Eq. 4 scaling factor, converting (window seconds × probability
   /// seconds) into joules. Chosen so a deferral of ~30 min across a
   /// Pr=0.5 region roughly cancels one activity's tail saving.
   double et_j_per_s2 = 2e-6;
   /// Eq. 5 average carrier bandwidth in kB/s (WCDMA-era figure).
   double bandwidth_kbps = 25.0;
+
+  // Multi-radio co-scheduling (build_multiradio_instance only; the
+  // single-radio builder ignores these).
+  /// Wi-Fi interface model, accounted independently of the cellular
+  /// data switch.
+  RadioModel wifi = RadioModel::wifi();
+  /// Achievable WLAN goodput in kB/s — an order of magnitude above the
+  /// WCDMA-era carrier figure, which is exactly why offloading a long
+  /// streaming flow is profitable despite the association cost.
+  double wifi_bandwidth_kbps = 400.0;
 };
 
 /// Energy the policy saves by absorbing this activity into a slot where
@@ -64,6 +77,10 @@ struct Instance {
   std::vector<std::size_t> item_activity;
   /// Activities that were not schedulable (no adjacent slot).
   std::vector<std::size_t> unschedulable;
+  /// Slots [0, num_cellular_slots) are predicted user-active (cellular)
+  /// slots; anything after are Wi-Fi presence windows. The single-radio
+  /// builder leaves every slot cellular.
+  std::size_t num_cellular_slots = 0;
 };
 
 /// Builds the overlapped-knapsack instance: one knapsack per predicted
@@ -81,5 +98,36 @@ Instance build_instance(std::span<const Interval> active_slots,
 /// slot's begin for a following slot (earliest deferral moment) —
 /// minimizing the deferral window either way.
 TimeMs assignment_anchor(const Interval& slot, TimeMs activity_time);
+
+/// Executed duration of an activity offloaded to Wi-Fi: the same bytes
+/// at the WLAN goodput, never slower than the cellular execution and
+/// never shorter than one tick.
+DurationMs wifi_transfer_ms(const NetworkActivity& activity,
+                            const ProfitConfig& config);
+
+/// Radio-selection profit term: energy saved by carrying the activity
+/// on Wi-Fi instead of an isolated cellular transfer — the cellular
+/// isolated cost (promotion + transfer + full tail) minus the isolated
+/// Wi-Fi cost of the same bytes (scan/associate + the shorter WLAN
+/// transfer + PSM tail). Can be negative for tiny transfers whose
+/// association burst outweighs the cellular tail.
+double wifi_offload_saving_j(const NetworkActivity& activity,
+                             const ProfitConfig& config);
+
+/// Multi-radio instance: the cellular slots and candidate structure of
+/// build_instance, plus one knapsack per predicted Wi-Fi presence
+/// window (appended after the cellular slots, tagged RadioId::kWifi,
+/// capacity from the WLAN goodput). Each pending activity gets at most
+/// two candidates: its best cellular slot (the paper's forward-anchor
+/// convention) and the Wi-Fi window containing or next following its
+/// arrival, each carrying its own profit (per-candidate overrides on
+/// the OverlapItem). Activities with no cellular candidate can still be
+/// scheduled through a Wi-Fi window. With no Wi-Fi windows this reduces
+/// exactly to build_instance.
+Instance build_multiradio_instance(std::span<const Interval> active_slots,
+                                   std::span<const Interval> wifi_windows,
+                                   std::span<const NetworkActivity> pending,
+                                   const mining::SlotPredictor& predictor,
+                                   const ProfitConfig& config);
 
 }  // namespace netmaster::sched

@@ -24,6 +24,14 @@ void validate_instance_common(std::span<const OverlapSlot> slots,
   for (const OverlapItem& item : items) {
     NM_REQUIRE(item.weight >= 0, "item weight must be non-negative");
     NM_REQUIRE(std::isfinite(item.profit), "item profits must be finite");
+    // Per-candidate overrides: NaN is the "use the shared profit"
+    // sentinel; anything else must be finite like the base profit.
+    NM_REQUIRE(std::isnan(item.prev_profit) ||
+                   std::isfinite(item.prev_profit),
+               "per-candidate profits must be finite");
+    NM_REQUIRE(std::isnan(item.next_profit) ||
+                   std::isfinite(item.next_profit),
+               "per-candidate profits must be finite");
     NM_REQUIRE(item.prev_slot >= -1 && item.prev_slot < n,
                "prev_slot out of range");
     NM_REQUIRE(item.next_slot >= -1 && item.next_slot < n,
@@ -93,7 +101,7 @@ void check_feasible_indexed(std::span<const OverlapSlot> slots,
     NM_REQUIRE(++ws.times_assigned[pos] == 1,
                "item assigned more than once");
     ws.used[static_cast<std::size_t>(a.slot_index)] += item.weight;
-    profit += item.profit;
+    profit += item.profit_in(a.slot_index);
   }
   for (std::size_t i = 0; i < slots.size(); ++i) {
     NM_REQUIRE(ws.used[i] <= slots[i].capacity, "slot capacity exceeded");
@@ -159,8 +167,10 @@ OverlapSolution solve_overlapped(std::span<const OverlapSlot> slots,
   for (const OverlapItem& item : items) {
     for (int s : {item.prev_slot, item.next_slot}) {
       if (s >= 0) {
+        // The duplicated copy carries the candidate's effective profit
+        // (the shared profit unless the item overrides this slot).
         slot_items[static_cast<std::size_t>(s)].push_back(
-            {item.id, item.profit, item.weight});
+            {item.id, item.profit_in(s), item.weight});
       }
     }
   }
@@ -241,17 +251,27 @@ OverlapSolution solve_overlapped(std::span<const OverlapSlot> slots,
     const OverlapItem& item = *ws.id_index[pos].second;
     int slot = ws.cand_slot[0][pos];
     if (ws.cand_count[pos] == 2) {
-      const std::int64_t r0 =
-          slots[static_cast<std::size_t>(ws.cand_slot[0][pos])].capacity -
-          item.weight;
-      const std::int64_t r1 =
-          slots[static_cast<std::size_t>(ws.cand_slot[1][pos])].capacity -
-          item.weight;
-      slot = r0 <= r1 ? ws.cand_slot[0][pos] : ws.cand_slot[1][pos];
+      const int c0 = ws.cand_slot[0][pos];
+      const int c1 = ws.cand_slot[1][pos];
+      // With per-candidate profits the two copies are no longer worth
+      // the same: keep the more profitable slot. Equal profits (the
+      // paper's shared-profit convention) fall back to Algorithm 1's
+      // rule: keep the slot with the smaller C(ti) − V(nj).
+      const double p0 = item.profit_in(c0);
+      const double p1 = item.profit_in(c1);
+      if (p0 != p1) {
+        slot = p0 > p1 ? c0 : c1;
+      } else {
+        const std::int64_t r0 =
+            slots[static_cast<std::size_t>(c0)].capacity - item.weight;
+        const std::int64_t r1 =
+            slots[static_cast<std::size_t>(c1)].capacity - item.weight;
+        slot = r0 <= r1 ? c0 : c1;
+      }
     }
     solution.assignments.push_back({item.id, slot});
     solution.slot_used[static_cast<std::size_t>(slot)] += item.weight;
-    solution.total_profit += item.profit;
+    solution.total_profit += item.profit_in(slot);
     ws.assigned[pos] = 1;
   }
 
@@ -328,41 +348,57 @@ OverlapSolution solve_overlapped_greedy(std::span<const OverlapSlot> slots,
                                         std::span<const OverlapItem> items) {
   validate_instance(slots, items);
 
+  // Order by the best candidate's profit/weight ratio (identical to the
+  // plain item ratio under the shared-profit convention).
+  const auto best_profit = [](const OverlapItem& item) {
+    double best = std::numeric_limits<double>::lowest();
+    for (int s : {item.prev_slot, item.next_slot}) {
+      if (s >= 0) best = std::max(best, item.profit_in(s));
+    }
+    return best;
+  };
   std::vector<std::size_t> order(items.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     const OverlapItem& x = items[a];
     const OverlapItem& y = items[b];
+    const double px = best_profit(x);
+    const double py = best_profit(y);
     if (x.weight == 0 || y.weight == 0) {
-      if (x.weight == 0 && y.weight == 0) return x.profit > y.profit;
+      if (x.weight == 0 && y.weight == 0) return px > py;
       return x.weight == 0;
     }
-    return x.profit * static_cast<double>(y.weight) >
-           y.profit * static_cast<double>(x.weight);
+    return px * static_cast<double>(y.weight) >
+           py * static_cast<double>(x.weight);
   });
 
   OverlapSolution solution;
   solution.slot_used.assign(slots.size(), 0);
   for (std::size_t idx : order) {
     const OverlapItem& item = items[idx];
-    if (item.profit <= 0.0) continue;
     int best = -1;
     std::int64_t best_residual = 0;
+    double best_p = 0.0;
     for (int s : {item.prev_slot, item.next_slot}) {
       if (s < 0) continue;
+      const double p = item.profit_in(s);
+      if (p <= 0.0) continue;  // never pack an unprofitable candidate
       const std::int64_t residual =
           slots[static_cast<std::size_t>(s)].capacity -
           solution.slot_used[static_cast<std::size_t>(s)];
       if (residual < item.weight) continue;
-      if (best < 0 || residual < best_residual) {
+      // Prefer the higher-profit candidate; ties (the shared-profit
+      // convention) keep the tighter fit.
+      if (best < 0 || p > best_p || (p == best_p && residual < best_residual)) {
         best = s;
         best_residual = residual;
+        best_p = p;
       }
     }
     if (best < 0) continue;
     solution.assignments.push_back({item.id, best});
     solution.slot_used[static_cast<std::size_t>(best)] += item.weight;
-    solution.total_profit += item.profit;
+    solution.total_profit += best_p;
   }
 
   check_feasible(slots, items, solution);
@@ -402,19 +438,21 @@ OverlapSolution solve_overlapped_exact(std::span<const OverlapSlot> slots,
     choice[i] = -1;
     self(self, i + 1, profit);
     // Assign to each feasible candidate (only if profitable — dropping
-    // non-positive items never hurts the optimum).
-    if (item.profit > 0.0) {
-      for (int s : {item.prev_slot, item.next_slot}) {
-        if (s < 0) continue;
-        auto& u = used[static_cast<std::size_t>(s)];
-        if (u + item.weight <=
-            slots[static_cast<std::size_t>(s)].capacity) {
-          u += item.weight;
-          choice[i] = s;
-          self(self, i + 1, profit + item.profit);
-          choice[i] = -1;
-          u -= item.weight;
-        }
+    // non-positive candidates never hurts the optimum). The profit is
+    // per candidate: a Wi-Fi copy may be worth more than the cellular
+    // one.
+    for (int s : {item.prev_slot, item.next_slot}) {
+      if (s < 0) continue;
+      const double p = item.profit_in(s);
+      if (p <= 0.0) continue;
+      auto& u = used[static_cast<std::size_t>(s)];
+      if (u + item.weight <=
+          slots[static_cast<std::size_t>(s)].capacity) {
+        u += item.weight;
+        choice[i] = s;
+        self(self, i + 1, profit + p);
+        choice[i] = -1;
+        u -= item.weight;
       }
     }
   };

@@ -16,26 +16,55 @@
 // instances, used to verify the (1−ε)/2 bound empirically.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
+
+#include "power/radio_model.hpp"
 
 namespace netmaster::sched {
 
 /// One schedulable activity. Profit is ΔE − ΔP; per the paper a
 /// duplicated item has the same profit in both candidate slots.
+///
+/// The multi-radio extension allows a per-candidate override: when
+/// `prev_profit` / `next_profit` is set (non-NaN) the duplicated copy
+/// in that slot carries the override instead of `profit` — a Wi-Fi
+/// window candidate values the same bytes differently than a cellular
+/// slot (different isolated cost, association overhead, deferral
+/// window). NaN (the default) keeps the paper's shared-profit
+/// convention, and every solver then behaves exactly as before.
 struct OverlapItem {
   int id = 0;
   std::int64_t weight = 0;  ///< V(n), bytes
   double profit = 0.0;      ///< ΔE − ΔP
   int prev_slot = -1;       ///< index of the preceding active slot, or -1
   int next_slot = -1;       ///< index of the following active slot, or -1
+  double prev_profit = std::numeric_limits<double>::quiet_NaN();
+  double next_profit = std::numeric_limits<double>::quiet_NaN();
+
+  /// Effective profit of this item inside candidate `slot_index`.
+  double profit_in(int slot_index) const {
+    if (slot_index == prev_slot && !std::isnan(prev_profit)) {
+      return prev_profit;
+    }
+    if (slot_index == next_slot && !std::isnan(next_profit)) {
+      return next_profit;
+    }
+    return profit;
+  }
 };
 
-/// One user-active slot acting as a knapsack.
+/// One user-active slot acting as a knapsack. `radio` tags which
+/// interface the slot's transfers execute on — predicted user-active
+/// slots are cellular piggyback windows, predicted Wi-Fi presence
+/// windows carry offloads; the solver itself never branches on it.
 struct OverlapSlot {
   int id = 0;
   std::int64_t capacity = 0;  ///< C(ti) = Bandwidth · |ti|, bytes
+  RadioId radio = RadioId::kCellular;
 };
 
 /// item -> slot assignment (slot_index indexes the input slot span).

@@ -9,8 +9,19 @@
 namespace netmaster::sim {
 
 SimReport account(const UserTrace& eval, const PolicyOutcome& outcome,
-                  const RadioPowerParams& params) {
-  params.validate();
+                  const RadioModel& params) {
+  for (const ExecutedTransfer& t : outcome.transfers) {
+    NM_REQUIRE(t.radio == RadioId::kCellular,
+               "single-radio accounting given a non-cellular transfer");
+  }
+  RadioSet radios;
+  radios.cellular = params;
+  return account(eval, outcome, radios);
+}
+
+SimReport account(const UserTrace& eval, const PolicyOutcome& outcome,
+                  const RadioSet& radios) {
+  radios.validate();
   SimReport report;
   report.policy_name = outcome.policy_name;
   report.horizon_ms = eval.trace_end();
@@ -19,11 +30,13 @@ SimReport account(const UserTrace& eval, const PolicyOutcome& outcome,
   report.drift_score = outcome.drift_score;
 
   // Consistency: every activity executed exactly once, inside the
-  // horizon.
+  // horizon. Transfers are partitioned by their assigned radio — each
+  // interface runs an independent state machine.
   NM_REQUIRE(outcome.transfers.size() == eval.activities.size(),
              "outcome must execute every activity exactly once");
   std::vector<bool> seen(eval.activities.size(), false);
-  IntervalSet executed;
+  IntervalSet executed;       // cellular transfers
+  IntervalSet executed_wifi;  // Wi-Fi offloads
   for (const ExecutedTransfer& t : outcome.transfers) {
     NM_REQUIRE(t.activity_index < eval.activities.size(),
                "transfer references unknown activity");
@@ -31,47 +44,63 @@ SimReport account(const UserTrace& eval, const PolicyOutcome& outcome,
     seen[t.activity_index] = true;
     NM_REQUIRE(t.start >= 0 && t.start + t.duration <= report.horizon_ms,
                "transfer outside the accounting horizon");
-    executed.add(t.start, t.start + t.duration);
+    if (t.radio == RadioId::kWifi) {
+      executed_wifi.add(t.start, t.start + t.duration);
+      ++report.wifi_transfer_count;
+    } else {
+      executed.add(t.start, t.start + t.duration);
+    }
 
     const NetworkActivity& act = eval.activities[t.activity_index];
     report.bytes_down += act.bytes_down;
     report.bytes_up += act.bytes_up;
   }
 
-  // RRC energy over the executed schedule, under the policy's data
-  // switch when it drives one. The vectorized engine kernel is
+  // Cellular RRC energy over the executed schedule, under the policy's
+  // data switch when it drives one. The vectorized engine kernel is
   // bit-identical to power/radio_model.cpp's account_transfers (the
   // retained reference the differential tests fuzz against).
   if (outcome.radio_allowed.has_value()) {
     // One canonical allowed-set construction: the policy's extra
-    // windows, the executed transfers themselves, and the duty probes.
+    // windows, the executed cellular transfers themselves, and the
+    // duty probes. Wi-Fi transfers do not extend the cellular switch.
     engine::RadioTimeline timeline(report.horizon_ms);
     timeline.allow(*outcome.radio_allowed);
     timeline.allow(executed);
     timeline.allow_wakes(outcome.wakes);
     const IntervalSet allowed = std::move(timeline).build();
-    report.radio = engine::account_interval_set(executed, params,
-                                                report.horizon_ms, &allowed);
+    report.radio = engine::account_interval_set(
+        executed, radios.cellular, report.horizon_ms, &allowed);
   } else {
-    report.radio =
-        engine::account_interval_set(executed, params, report.horizon_ms);
+    report.radio = engine::account_interval_set(executed, radios.cellular,
+                                                report.horizon_ms);
   }
-  report.transfer_energy_j = report.radio.energy_j;
 
-  // Duty-cycle wake overhead: probes run the radio at FACH-level power
-  // (network attach, no dedicated channel). Fruitful wakes overlap
-  // transfers and are not double-charged: only the non-overlap part of
-  // each probe window is added.
+  // The Wi-Fi interface is not behind the cellular data switch: its
+  // PSM tails always run to completion, and every cold attach pays the
+  // scan/associate burst the model describes.
+  if (!executed_wifi.intervals().empty()) {
+    report.wifi = engine::account_interval_set(executed_wifi, radios.wifi,
+                                               report.horizon_ms);
+    report.wifi_energy_j = report.wifi.energy_j;
+    report.wifi_on_ms = report.wifi.radio_on_ms;
+  }
+  report.transfer_energy_j = report.radio.energy_j + report.wifi_energy_j;
+
+  // Duty-cycle wake overhead: probes run the cellular radio at
+  // FACH-level power (network attach, no dedicated channel). Fruitful
+  // wakes overlap transfers and are not double-charged: only the
+  // non-overlap part of each probe window is added.
   for (const duty::WakeEvent& w : outcome.wakes) {
     const DurationMs overlap =
         executed.overlap_length(w.time, w.time + w.window);
     const DurationMs extra = w.window - overlap;
     report.duty_energy_j +=
-        params.fach_mw * static_cast<double>(extra) * 1e-6;
+        radios.cellular.probe_mw() * static_cast<double>(extra) * 1e-6;
     report.radio_on_ms += extra;
   }
   report.wake_count = outcome.wakes.size();
-  report.radio_on_ms += report.radio.radio_on_ms;
+  report.radio_on_ms += report.radio.radio_on_ms + report.wifi_on_ms;
   report.energy_j = report.transfer_energy_j + report.duty_energy_j;
 
   // Bandwidth utilization: achieved bytes per radio-on second.

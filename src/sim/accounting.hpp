@@ -22,11 +22,21 @@ struct SimReport {
 
   // Energy / radio time.
   double energy_j = 0.0;          ///< transfers + duty overhead
-  double transfer_energy_j = 0.0; ///< RRC trajectory energy only
+  double transfer_energy_j = 0.0; ///< transfer trajectory energy only
   double duty_energy_j = 0.0;     ///< wake-probe overhead
   DurationMs radio_on_ms = 0;     ///< non-IDLE time incl. wake probes
-  RadioAccounting radio;          ///< RRC breakdown
+  RadioAccounting radio;          ///< cellular RRC breakdown
   std::size_t wake_count = 0;
+
+  // Multi-radio breakdown. When the policy assigned transfers to the
+  // Wi-Fi interface, its independent state machine is accounted here
+  // (no data-switch restriction — the AP association is not behind
+  // `svc data disable`) and summed into energy_j / radio_on_ms.
+  // All-cellular outcomes leave these exactly zero.
+  double wifi_energy_j = 0.0;
+  DurationMs wifi_on_ms = 0;
+  RadioAccounting wifi;           ///< Wi-Fi PSM breakdown
+  std::size_t wifi_transfer_count = 0;
 
   // Traffic.
   std::int64_t bytes_down = 0;
@@ -54,10 +64,22 @@ struct SimReport {
   double drift_score = 0.0;     ///< drift score the policy acted under
 };
 
-/// Runs the accountant. Throws netmaster::Error when the outcome is
-/// inconsistent with the trace (missing/duplicate activities, transfers
-/// beyond the horizon).
+/// Runs the accountant for a single-radio (cellular-only) outcome.
+/// Throws netmaster::Error when the outcome is inconsistent with the
+/// trace (missing/duplicate activities, transfers beyond the horizon)
+/// or assigns any transfer to a non-cellular radio. RadioPowerParams
+/// converts implicitly, so legacy call sites are unchanged.
 SimReport account(const UserTrace& eval, const PolicyOutcome& outcome,
-                  const RadioPowerParams& params);
+                  const RadioModel& params);
+
+/// Multi-radio accountant: transfers are partitioned by their assigned
+/// RadioId and each interface's state machine is integrated
+/// independently — the cellular partition under the policy's data
+/// switch exactly as the single-radio path, the Wi-Fi partition with
+/// free-running PSM tails and per-cold-attach association costs.
+/// Outcomes with no Wi-Fi transfers reproduce the single-radio report
+/// bit for bit.
+SimReport account(const UserTrace& eval, const PolicyOutcome& outcome,
+                  const RadioSet& radios);
 
 }  // namespace netmaster::sim

@@ -18,6 +18,7 @@
 #include "common/interval.hpp"
 #include "common/time.hpp"
 #include "duty/duty_cycle.hpp"
+#include "power/radio_model.hpp"
 
 namespace netmaster::sim {
 
@@ -26,6 +27,11 @@ struct ExecutedTransfer {
   std::size_t activity_index = 0;  ///< into the eval trace's activities
   TimeMs start = 0;                ///< executed start time
   DurationMs duration = 0;         ///< executed transfer time
+  /// Which radio interface carried the transfer. Single-radio policies
+  /// leave the default; the multi-radio co-scheduler assigns Wi-Fi
+  /// offloads explicitly. Wi-Fi transfers are accounted on their own
+  /// state machine and do not hold the cellular data switch open.
+  RadioId radio = RadioId::kCellular;
 };
 
 /// Which decision path produced an outcome. Policies with a graceful

@@ -249,6 +249,55 @@ UserProfile make_user(Archetype archetype, UserId id) {
       user.presence_c = 7.0;
       keep_only(user, {0, 1, 3, 7, 21});
       break;
+
+    case Archetype::kMediaStreamer: {
+      user.name = "media-streamer";
+      // Reliable long evenings at home (the habit hours a presence
+      // predictor can bank on) plus a lighter lunch block.
+      user.weekday_intensity = curve_from_anchors(
+          {{0, 2.0}, {1, 0.3}, {7, 0.5}, {12, 8.0}, {13, 1.5}, {18, 6.0},
+           {19, 28.0}, {22, 30.0}, {23, 8.0}});
+      user.weekend_intensity = curve_from_anchors(
+          {{0, 4.0}, {2, 0.5}, {10, 4.0}, {13, 10.0}, {18, 20.0},
+           {21, 32.0}, {23, 10.0}});
+      user.day_noise_sigma = 0.18;  // streaming evenings are a ritual
+      user.presence_c = 2.0;
+      // The long-lived media flow: the player tops up its buffer with
+      // one chunk per period even with the screen off (audio keeps
+      // playing). Large chunks, one connection per fetch — this is the
+      // flow EStreamer-style burst shaping acts on.
+      AppProfile stream = app("media.stream", 4.0, 0.95,
+                              SyncStyle::kPeriodic, 3 * kMsPerMinute);
+      stream.hour_affinity = evening_affinity();
+      stream.bg_burst_mean = 1.0;
+      stream.bg_bytes_mu = 12.3;  // exp(12.3) ~ 220 kB chunk
+      stream.bg_bytes_sigma = 0.3;
+      stream.fg_bytes_mu = 12.0;
+      user.apps.push_back(stream);
+      break;
+    }
+
+    case Archetype::kPodcastCommuter: {
+      user.name = "podcast-commuter";
+      // The commuter rhythm, but the network load is dominated by bulk
+      // episode downloads — big deferrable blobs that are the classic
+      // Wi-Fi offload candidate.
+      user.weekday_intensity = curve_from_anchors(
+          {{0, 0.2}, {6, 0.5}, {7, 26.0}, {8, 22.0}, {9, 1.0}, {12, 4.0},
+           {17, 3.0}, {18, 28.0}, {19, 20.0}, {21, 10.0}, {23, 0.5}});
+      user.weekend_intensity = curve_from_anchors(
+          {{0, 1.0}, {9, 1.0}, {10, 12.0}, {14, 8.0}, {19, 14.0},
+           {22, 6.0}, {23, 1.0}});
+      user.day_noise_sigma = 0.22;
+      user.presence_c = 3.0;
+      AppProfile pod = app("podcasts", 3.0, 0.9, SyncStyle::kPeriodic,
+                           3 * kMsPerHour);
+      pod.bg_burst_mean = 1.0;
+      pod.bg_bytes_mu = 14.2;  // exp(14.2) ~ 1.5 MB episode
+      pod.bg_bytes_sigma = 0.5;
+      user.apps.push_back(pod);
+      break;
+    }
   }
   return user;
 }
@@ -272,6 +321,28 @@ std::vector<UserProfile> volunteer_population() {
   return {make_user(Archetype::kOfficeWorker, 1),
           make_user(Archetype::kStudent, 2),
           make_user(Archetype::kHeavyMessenger, 3)};
+}
+
+UserProfile make_streamer(UserId id, DurationMs chunk_period) {
+  NM_REQUIRE(chunk_period > 0, "chunk period must be positive");
+  UserProfile user = make_user(Archetype::kMediaStreamer, id);
+  AppProfile& stream = user.apps.back();
+  NM_ASSERT(stream.name == "media.stream",
+            "streamer profile must end with the media flow");
+  // Burst shaping at fixed bitrate: scale the chunk size with the
+  // period so mean bytes/s of the flow are invariant. For a log-normal
+  // the mean scales as exp(mu), so the period ratio shifts mu.
+  stream.bg_bytes_mu +=
+      std::log(static_cast<double>(chunk_period) /
+               static_cast<double>(stream.sync_interval_ms));
+  stream.sync_interval_ms = chunk_period;
+  return user;
+}
+
+std::vector<UserProfile> streaming_population() {
+  return {make_streamer(1, 3 * kMsPerMinute),
+          make_streamer(2, 8 * kMsPerMinute),
+          make_user(Archetype::kPodcastCommuter, 3)};
 }
 
 }  // namespace netmaster::synth

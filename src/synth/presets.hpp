@@ -24,6 +24,8 @@ enum class Archetype {
   kHeavyMessenger,  ///< IM-dominated, high intensity all waking hours
   kWeekendWarrior,  ///< light weekdays, heavy weekends
   kLightUser,       ///< sparse usage throughout
+  kMediaStreamer,   ///< long evening media flows, periodic chunk fetches
+  kPodcastCommuter, ///< commute listening over bulk episode downloads
 };
 
 /// The 23-app population used by all presets (matching the paper's
@@ -41,5 +43,19 @@ std::vector<UserProfile> study_population();
 /// The 3-volunteer §VI evaluation population (office worker, student,
 /// heavy messenger — spanning regular to chatty usage).
 std::vector<UserProfile> volunteer_population();
+
+/// A media streamer whose player fetches one chunk per `chunk_period`
+/// of playback — the EStreamer burst-shaping knob. The media *bitrate*
+/// is fixed: a coarser period means proportionally larger chunks, so
+/// the same bytes arrive in fewer, bigger bursts and the radio pays
+/// fewer promotion/tail cycles. make_user(kMediaStreamer, id) is the
+/// 3-minute default.
+UserProfile make_streamer(UserId id, DurationMs chunk_period);
+
+/// Streaming-heavy population for the multi-radio figure: two media
+/// streamers with different chunk shaping (3 min vs. 8 min — the
+/// EStreamer tradeoff in one fleet) plus a podcast commuter whose bulk
+/// episode downloads are the classic Wi-Fi offload candidate.
+std::vector<UserProfile> streaming_population();
 
 }  // namespace netmaster::synth

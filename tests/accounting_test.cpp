@@ -154,6 +154,77 @@ TEST(Accounting, MeanDeferralLatency) {
   EXPECT_DOUBLE_EQ(r.mean_deferral_latency_s, 20.0);
 }
 
+// ---- Multi-radio accountant (RadioSet overload) ----
+
+TEST(Accounting, RadioSetAllCellularBitIdentical) {
+  // Outcomes with no Wi-Fi transfers must reproduce the single-radio
+  // report bit for bit through the RadioSet overload — this is what
+  // lets the fleet layer route every run through one accountant.
+  const UserTrace t = fixture();
+  PolicyOutcome o = in_place_outcome(t);
+  o.wakes.push_back({seconds(200), 2000, false});
+  o.deferral_latency_s = {10.0};
+  RadioSet radios;  // wcdma cellular + wifi defaults
+  const SimReport single = account(t, o, RadioModel::wcdma());
+  const SimReport multi = account(t, o, radios);
+  EXPECT_EQ(multi.energy_j, single.energy_j);
+  EXPECT_EQ(multi.transfer_energy_j, single.transfer_energy_j);
+  EXPECT_EQ(multi.duty_energy_j, single.duty_energy_j);
+  EXPECT_EQ(multi.radio_on_ms, single.radio_on_ms);
+  EXPECT_EQ(multi.radio.energy_j, single.radio.energy_j);
+  EXPECT_DOUBLE_EQ(multi.wifi_energy_j, 0.0);
+  EXPECT_EQ(multi.wifi_on_ms, 0);
+  EXPECT_EQ(multi.wifi_transfer_count, 0u);
+  EXPECT_EQ(multi.wifi.associations, 0);
+}
+
+TEST(Accounting, WifiTransfersPartitionedOntoOwnMachine) {
+  const UserTrace t = fixture();
+  PolicyOutcome o = in_place_outcome(t);
+  o.transfers[0].radio = RadioId::kWifi;
+  RadioSet radios;
+  const SimReport r = account(t, o, radios);
+  EXPECT_EQ(r.wifi_transfer_count, 1u);
+  EXPECT_GT(r.wifi_energy_j, 0.0);
+  EXPECT_GT(r.wifi_on_ms, 0);
+  EXPECT_EQ(r.wifi.associations, 1);
+  // One isolated cellular transfer remains: a single promotion.
+  EXPECT_EQ(r.radio.promotions, 1);
+  // The two interfaces sum into the headline figures.
+  EXPECT_DOUBLE_EQ(r.transfer_energy_j,
+                   r.radio.energy_j + r.wifi_energy_j);
+  EXPECT_EQ(r.radio_on_ms, r.radio.radio_on_ms + r.wifi_on_ms);
+  // Bytes are radio-agnostic.
+  EXPECT_EQ(r.bytes_down, 12'000);
+}
+
+TEST(Accounting, WifiNotBehindCellularDataSwitch) {
+  // A data switch that blocks everything outside the transfer windows
+  // cuts cellular tails but leaves the Wi-Fi machine free-running: the
+  // AP association is not behind `svc data disable`.
+  const UserTrace t = fixture();
+  PolicyOutcome o = in_place_outcome(t);
+  o.transfers[0].radio = RadioId::kWifi;
+  const RadioSet radios;
+  const SimReport free_running = account(t, o, radios);
+  o.radio_allowed = IntervalSet{};
+  for (const ExecutedTransfer& tr : o.transfers) {
+    if (tr.radio == RadioId::kCellular) {
+      o.radio_allowed->add(tr.start, tr.start + tr.duration);
+    }
+  }
+  const SimReport switched = account(t, o, radios);
+  EXPECT_EQ(switched.wifi_energy_j, free_running.wifi_energy_j);
+  EXPECT_LT(switched.radio.energy_j, free_running.radio.energy_j);
+}
+
+TEST(Accounting, SingleRadioOverloadRejectsWifiTransfers) {
+  const UserTrace t = fixture();
+  PolicyOutcome o = in_place_outcome(t);
+  o.transfers[0].radio = RadioId::kWifi;
+  EXPECT_THROW(account(t, o, RadioModel::wcdma()), Error);
+}
+
 TEST(Accounting, EmptyTrace) {
   UserTrace t;
   t.user = 1;

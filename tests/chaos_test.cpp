@@ -66,7 +66,7 @@ void expect_conserved(const sim::SimReport& report,
 TEST(ChaosMatrix, CorruptedTrainingNeverCrashesAndStaysInBand) {
   const eval::ExperimentConfig cfg = chaos_config();
   const eval::VolunteerTraces traces = clean_traces();
-  const RadioPowerParams& radio = cfg.netmaster.profit.radio;
+  const RadioModel& radio = cfg.netmaster.profit.radio;
 
   const sim::SimReport base = sim::account(
       traces.eval, policy::BaselinePolicy().run(traces.eval), radio);
@@ -129,7 +129,7 @@ TEST(ChaosMatrix, CorruptedTrainingNeverCrashesAndStaysInBand) {
 TEST(ChaosMatrix, SanitizedCorruptEvalReplaysConserved) {
   const eval::ExperimentConfig cfg = chaos_config();
   const eval::VolunteerTraces traces = clean_traces();
-  const RadioPowerParams& radio = cfg.netmaster.profit.radio;
+  const RadioModel& radio = cfg.netmaster.profit.radio;
   const policy::NetMasterPolicy policy(traces.training, cfg.netmaster);
 
   for (const fault::FaultKind kind : fault::all_fault_kinds()) {
@@ -158,7 +158,7 @@ TEST(ChaosMatrix, SanitizedCorruptEvalReplaysConserved) {
 TEST(ChaosMatrix, AllKindsStackedStillDegradeGracefully) {
   const eval::ExperimentConfig cfg = chaos_config();
   const eval::VolunteerTraces traces = clean_traces();
-  const RadioPowerParams& radio = cfg.netmaster.profit.radio;
+  const RadioModel& radio = cfg.netmaster.profit.radio;
 
   for (const std::uint64_t seed : kSeeds) {
     fault::FaultPlan plan;
@@ -316,7 +316,7 @@ TEST(ChaosDrift, DriftPlusFaultsDegradeGracefullyUnderAdaptation) {
   cfg.train_days = 14;  // adaptation needs a real horizon
   cfg.eval_days = 14;
   cfg.seed = 42;
-  const RadioPowerParams& radio = cfg.netmaster.profit.radio;
+  const RadioModel& radio = cfg.netmaster.profit.radio;
 
   const synth::DriftKind kinds[] = {synth::DriftKind::kAbrupt,
                                     synth::DriftKind::kGradual,

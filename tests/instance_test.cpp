@@ -163,5 +163,139 @@ TEST(BuildInstance, ProfitReflectsDistance) {
   EXPECT_GE(inst_near.items[0].profit, inst_far.items[0].profit);
 }
 
+TEST(WifiTransfer, DurationFromGoodputClampedToCellular) {
+  ProfitConfig cfg;
+  cfg.wifi_bandwidth_kbps = 400.0;
+  // 1000 bytes at 400 kB/s (= bytes per ms) -> ceil(2.5) = 3 ms.
+  EXPECT_EQ(wifi_transfer_ms(activity(0, 2000, 1000), cfg), 3);
+  // Never shorter than one tick, even for zero bytes.
+  EXPECT_EQ(wifi_transfer_ms(activity(0, 2000, 0), cfg), 1);
+  // Never slower than the cellular execution it replaces.
+  EXPECT_EQ(wifi_transfer_ms(activity(0, 2000, 10'000'000), cfg), 2000);
+  cfg.wifi_bandwidth_kbps = 0.0;
+  EXPECT_THROW(wifi_transfer_ms(activity(0), cfg), Error);
+}
+
+TEST(WifiTransfer, OffloadSavingPositiveForBulkFlows) {
+  const ProfitConfig cfg;
+  // A multi-second cellular transfer pays promotion + both tails; the
+  // same bytes on WLAN finish quickly and pay only the association
+  // burst and PSM tail, so offloading nets a saving.
+  const NetworkActivity bulk = activity(0, 8000, 500'000);
+  EXPECT_GT(wifi_offload_saving_j(bulk, cfg), 0.0);
+  // The saving equals the difference of the two isolated-cost curves.
+  EXPECT_DOUBLE_EQ(
+      wifi_offload_saving_j(bulk, cfg),
+      isolated_activity_energy(bulk.duration, cfg.radio) -
+          isolated_activity_energy(wifi_transfer_ms(bulk, cfg), cfg.wifi));
+}
+
+TEST(BuildMultiradio, ReducesToSingleRadioWithNoWifiWindows) {
+  const mining::SlotPredictor pred = make_predictor();
+  const ProfitConfig cfg;
+  const std::vector<Interval> slots = {
+      {hour_start(0, 8), hour_start(0, 9)},
+      {hour_start(0, 18), hour_start(0, 19)},
+  };
+  const std::vector<NetworkActivity> pending = {
+      activity(hour_start(0, 3)),
+      activity(hour_start(0, 12)),
+      activity(hour_start(0, 22)),
+  };
+  const Instance single = build_instance(slots, pending, pred, cfg);
+  const Instance multi =
+      build_multiradio_instance(slots, {}, pending, pred, cfg);
+  ASSERT_EQ(multi.items.size(), single.items.size());
+  EXPECT_EQ(multi.slots.size(), single.slots.size());
+  EXPECT_EQ(multi.num_cellular_slots, single.num_cellular_slots);
+  for (std::size_t i = 0; i < single.items.size(); ++i) {
+    EXPECT_EQ(multi.items[i].id, single.items[i].id);
+    EXPECT_EQ(multi.items[i].weight, single.items[i].weight);
+    EXPECT_EQ(multi.items[i].profit, single.items[i].profit);  // bitwise
+    EXPECT_EQ(multi.items[i].prev_slot, single.items[i].prev_slot);
+    EXPECT_EQ(multi.items[i].next_slot, single.items[i].next_slot);
+    EXPECT_TRUE(std::isnan(multi.items[i].prev_profit));
+    EXPECT_TRUE(std::isnan(multi.items[i].next_profit));
+  }
+  for (const OverlapSlot& slot : multi.slots) {
+    EXPECT_EQ(slot.radio, RadioId::kCellular);
+  }
+}
+
+TEST(BuildMultiradio, WifiWindowBecomesTaggedSlot) {
+  const mining::SlotPredictor pred = make_predictor();
+  const ProfitConfig cfg;
+  const std::vector<Interval> slots = {
+      {hour_start(0, 18), hour_start(0, 19)}};
+  const std::vector<Interval> wifi = {
+      {hour_start(0, 13), hour_start(0, 14)}};
+  const std::vector<NetworkActivity> pending = {
+      activity(hour_start(0, 12))};
+  const Instance inst =
+      build_multiradio_instance(slots, wifi, pending, pred, cfg);
+  ASSERT_EQ(inst.slots.size(), 2u);
+  EXPECT_EQ(inst.num_cellular_slots, 1u);
+  EXPECT_EQ(inst.slots[0].radio, RadioId::kCellular);
+  EXPECT_EQ(inst.slots[1].radio, RadioId::kWifi);
+  // The Wi-Fi knapsack is sized by the WLAN goodput, not the carrier.
+  EXPECT_EQ(inst.slots[1].capacity,
+            static_cast<std::int64_t>(cfg.wifi_bandwidth_kbps * 1000.0 *
+                                      to_seconds(kMsPerHour)));
+
+  // The item carries both candidates with their own profits: the
+  // forward cellular slot and the Wi-Fi window following the arrival.
+  ASSERT_EQ(inst.items.size(), 1u);
+  const OverlapItem& item = inst.items[0];
+  EXPECT_EQ(item.prev_slot, 0);
+  EXPECT_EQ(item.next_slot, 1);
+  const NetworkActivity& act = pending[0];
+  const double cell_profit =
+      energy_saving_j(act, cfg) -
+      deferral_penalty_j(act.start, hour_start(0, 18), pred, cfg);
+  const double wifi_profit =
+      wifi_offload_saving_j(act, cfg) -
+      deferral_penalty_j(act.start, hour_start(0, 13), pred, cfg);
+  EXPECT_EQ(item.prev_profit, cell_profit);
+  EXPECT_EQ(item.next_profit, wifi_profit);
+  EXPECT_EQ(item.profit, cell_profit);
+}
+
+TEST(BuildMultiradio, WifiOnlyCoverageStillSchedulable) {
+  const mining::SlotPredictor pred = make_predictor();
+  const ProfitConfig cfg;
+  // No cellular slots at all: under build_instance this activity would
+  // be unschedulable; a Wi-Fi presence window rescues it.
+  const std::vector<Interval> wifi = {
+      {hour_start(0, 13), hour_start(0, 14)}};
+  const std::vector<NetworkActivity> pending = {
+      activity(hour_start(0, 12))};
+  const Instance inst =
+      build_multiradio_instance({}, wifi, pending, pred, cfg);
+  EXPECT_TRUE(inst.unschedulable.empty());
+  ASSERT_EQ(inst.items.size(), 1u);
+  EXPECT_EQ(inst.items[0].prev_slot, -1);
+  EXPECT_EQ(inst.items[0].next_slot, 0);
+  EXPECT_EQ(inst.num_cellular_slots, 0u);
+  const double wifi_profit =
+      wifi_offload_saving_j(pending[0], cfg) -
+      deferral_penalty_j(pending[0].start, hour_start(0, 13), pred, cfg);
+  EXPECT_EQ(inst.items[0].profit, wifi_profit);
+
+  // An arrival *inside* the window offloads immediately: no deferral
+  // penalty at all.
+  const std::vector<NetworkActivity> inside = {
+      activity(hour_start(0, 13) + kMsPerMinute)};
+  const Instance inst2 =
+      build_multiradio_instance({}, wifi, inside, pred, cfg);
+  ASSERT_EQ(inst2.items.size(), 1u);
+  EXPECT_EQ(inst2.items[0].profit, wifi_offload_saving_j(inside[0], cfg));
+}
+
+TEST(BuildMultiradio, RejectsOverlappingWifiWindows) {
+  const mining::SlotPredictor pred = make_predictor();
+  const std::vector<Interval> wifi = {{0, 2000}, {1000, 3000}};
+  EXPECT_THROW(build_multiradio_instance({}, wifi, {}, pred, {}), Error);
+}
+
 }  // namespace
 }  // namespace netmaster::sched

@@ -196,6 +196,116 @@ TEST(GreedyBaseline, NeverBeatsExactAndOftenTrailsAlgorithm1) {
   EXPECT_GE(algo1_sum, greedy_sum);
 }
 
+// ---- Per-candidate profit overrides (multi-radio candidates) ----
+
+TEST(PerCandidateProfit, ProfitInSelectsOverride) {
+  OverlapItem item{0, 5, 3.0, 1, 4};
+  // NaN defaults: both candidates share the item profit.
+  EXPECT_DOUBLE_EQ(item.profit_in(1), 3.0);
+  EXPECT_DOUBLE_EQ(item.profit_in(4), 3.0);
+  item.prev_profit = 1.0;
+  item.next_profit = 9.0;
+  EXPECT_DOUBLE_EQ(item.profit_in(1), 1.0);
+  EXPECT_DOUBLE_EQ(item.profit_in(4), 9.0);
+  // Any other index falls back to the shared profit.
+  EXPECT_DOUBLE_EQ(item.profit_in(2), 3.0);
+}
+
+TEST(PerCandidateProfit, SolversPickTheRicherCandidate) {
+  // Both slots have room for the single item; its Wi-Fi-style next
+  // candidate is worth 9 against 1 for the cellular prev — every
+  // solver must land it in slot 1.
+  const std::vector<OverlapSlot> slots = {{0, 10},
+                                          {1, 10, RadioId::kWifi}};
+  OverlapItem item{0, 5, 1.0, 0, 1};
+  item.prev_profit = 1.0;
+  item.next_profit = 9.0;
+  const std::vector<OverlapItem> items = {item};
+  for (const OverlapSolution& s :
+       {solve_overlapped_exact(slots, items),
+        solve_overlapped(slots, items, 0.1),
+        solve_overlapped_greedy(slots, items)}) {
+    ASSERT_EQ(s.assignments.size(), 1u);
+    EXPECT_EQ(s.assignments[0].slot_index, 1);
+    EXPECT_DOUBLE_EQ(s.total_profit, 9.0);
+  }
+}
+
+TEST(PerCandidateProfit, NegativeCandidateNeverChosen) {
+  // A Wi-Fi candidate whose association cost outweighs the saving gets
+  // a negative override; the item must take its cellular slot instead,
+  // and take nothing if the cellular slot is full.
+  const std::vector<OverlapSlot> slots = {{0, 10},
+                                          {1, 100, RadioId::kWifi}};
+  OverlapItem item{0, 5, 2.0, 0, 1};
+  item.next_profit = -0.5;
+  const std::vector<OverlapItem> items = {item};
+  const OverlapSolution s = solve_overlapped_exact(slots, items);
+  ASSERT_EQ(s.assignments.size(), 1u);
+  EXPECT_EQ(s.assignments[0].slot_index, 0);
+
+  const std::vector<OverlapSlot> tight = {{0, 3},
+                                          {1, 100, RadioId::kWifi}};
+  const OverlapSolution none = solve_overlapped_exact(tight, items);
+  EXPECT_TRUE(none.assignments.empty());
+  EXPECT_DOUBLE_EQ(none.total_profit, 0.0);
+}
+
+TEST(PerCandidateProfit, NanDefaultBitCompatibleWithSharedProfit) {
+  // Explicitly setting both overrides to the shared value must produce
+  // the same solutions (bitwise profits) as the NaN defaults, across
+  // random instances and all three solvers.
+  Rng rng(2026);
+  for (int run = 0; run < 20; ++run) {
+    const int n_slots = static_cast<int>(rng.uniform_int(2, 4));
+    std::vector<OverlapSlot> slots;
+    for (int s = 0; s < n_slots; ++s) {
+      slots.push_back({s, rng.uniform_int(20, 120)});
+    }
+    std::vector<OverlapItem> plain, pinned;
+    const int n_items = static_cast<int>(rng.uniform_int(4, 12));
+    for (int i = 0; i < n_items; ++i) {
+      const int prev = static_cast<int>(rng.uniform_int(0, n_slots - 2));
+      OverlapItem item{i, rng.uniform_int(5, 60), rng.uniform(0.5, 40.0),
+                       prev, prev + 1};
+      plain.push_back(item);
+      item.prev_profit = item.profit;
+      item.next_profit = item.profit;
+      pinned.push_back(item);
+    }
+    const OverlapSolution a = solve_overlapped(slots, plain, 0.1);
+    const OverlapSolution b = solve_overlapped(slots, pinned, 0.1);
+    EXPECT_EQ(a.total_profit, b.total_profit) << "run " << run;
+    EXPECT_EQ(a.assignments.size(), b.assignments.size()) << "run " << run;
+    EXPECT_EQ(solve_overlapped_exact(slots, plain).total_profit,
+              solve_overlapped_exact(slots, pinned).total_profit);
+    EXPECT_EQ(solve_overlapped_greedy(slots, plain).total_profit,
+              solve_overlapped_greedy(slots, pinned).total_profit);
+  }
+}
+
+TEST(PerCandidateProfit, CheckFeasibleUsesPerCandidateTotals) {
+  const std::vector<OverlapSlot> slots = {{0, 10}, {1, 10}};
+  OverlapItem item{0, 5, 1.0, 0, 1};
+  item.next_profit = 9.0;
+  const std::vector<OverlapItem> items = {item};
+  OverlapSolution s;
+  s.assignments = {{0, 1}};
+  s.slot_used = {0, 5};
+  s.total_profit = 9.0;
+  EXPECT_NO_THROW(check_feasible(slots, items, s));
+  s.total_profit = 1.0;  // the shared profit is NOT the slot-1 value
+  EXPECT_THROW(check_feasible(slots, items, s), Error);
+}
+
+TEST(PerCandidateProfit, RejectsNonFiniteOverride) {
+  const std::vector<OverlapSlot> slots = {{0, 10}, {1, 10}};
+  OverlapItem item{0, 5, 1.0, 0, 1};
+  item.next_profit = std::numeric_limits<double>::infinity();
+  const std::vector<OverlapItem> items = {item};
+  EXPECT_THROW(solve_overlapped(slots, items, 0.1), Error);
+}
+
 // Property suite: Algorithm 1 achieves at least (1−ε)/2 of the
 // brute-force optimum on random overlapped instances.
 struct BoundCase {

@@ -109,10 +109,14 @@ void expect_accounting_equal(const RadioAccounting& got,
                              const RadioAccounting& want,
                              const std::string& context) {
   EXPECT_EQ(got.active_ms, want.active_ms) << context;
-  EXPECT_EQ(got.tail_dch_ms, want.tail_dch_ms) << context;
-  EXPECT_EQ(got.tail_fach_ms, want.tail_fach_ms) << context;
+  for (std::size_t tier = 0; tier < got.tail_tier_ms.size(); ++tier) {
+    EXPECT_EQ(got.tail_tier_ms[tier], want.tail_tier_ms[tier])
+        << context << " tier " << tier;
+  }
   EXPECT_EQ(got.promo_ms, want.promo_ms) << context;
   EXPECT_EQ(got.promotions, want.promotions) << context;
+  EXPECT_EQ(got.assoc_ms, want.assoc_ms) << context;
+  EXPECT_EQ(got.associations, want.associations) << context;
   EXPECT_EQ(got.radio_on_ms, want.radio_on_ms) << context;
   // Bitwise, not approximate: the kernel derives energy from the same
   // integer totals with the same expression.
@@ -120,14 +124,14 @@ void expect_accounting_equal(const RadioAccounting& got,
 }
 
 void expect_matches_reference(const IntervalSet& transfers,
-                              const RadioPowerParams& params,
+                              const RadioModel& model,
                               TimeMs horizon,
                               const IntervalSet* allowed,
                               const std::string& context) {
   const RadioAccounting want =
-      account_transfers(transfers, params, horizon, allowed);
+      account_transfers(transfers, model, horizon, allowed);
   const RadioAccounting got =
-      account_interval_set(transfers, params, horizon, allowed);
+      account_interval_set(transfers, model, horizon, allowed);
   expect_accounting_equal(got, want, context);
 }
 
@@ -226,6 +230,106 @@ TEST(AccountColumns, FuzzMatchesReference) {
     }
     const IntervalSet allowed = std::move(timeline).build();
     expect_matches_reference(transfers, p, horizon, &allowed,
+                             context + "+allowed");
+  }
+}
+
+/// A random generalized model: 1–4 tail tiers with monotone
+/// non-increasing powers, random (possibly zero) durations and
+/// promotion costs, and an association cost on about a third of the
+/// draws — the full descriptive space the N-tier machine admits, well
+/// beyond the two-tail instantiations in param_suite().
+RadioModel random_model(std::mt19937_64& rng) {
+  RadioModel m;
+  m.idle_mw = static_cast<double>(rng() % 30);
+  m.active_mw = 400.0 + static_cast<double>(rng() % 1400);
+  m.promo_mw = 100.0 + static_cast<double>(rng() % 800);
+  m.promo_idle_ms = static_cast<DurationMs>(rng() % 3000);
+  if (rng() % 3 == 0) {
+    m.assoc_mw = 100.0 + static_cast<double>(rng() % 600);
+    m.assoc_ms = static_cast<DurationMs>(rng() % 4000);
+  } else {
+    m.assoc_mw = 0.0;
+    m.assoc_ms = 0;
+  }
+  m.num_tails = 1 + rng() % kMaxRadioTiers;
+  double power = m.active_mw;
+  for (std::size_t tier = 0; tier < m.num_tails; ++tier) {
+    // Keep the chain non-increasing; tier 0 may sit at active power
+    // (the WCDMA shape) and any tier may have a zero-length window.
+    power -= static_cast<double>(rng() % 300);
+    if (power < 1.0) power = 1.0;
+    m.tails[tier].power_mw = power;
+    m.tails[tier].duration_ms = static_cast<DurationMs>(rng() % 15000);
+    m.tails[tier].promo_ms =
+        tier == 0 ? 0 : static_cast<DurationMs>(rng() % 2000);
+  }
+  m.validate();
+  return m;
+}
+
+TEST(AccountColumns, ZeroLengthTailTiersDegenerate) {
+  // Every tail window empty: the connected period is exactly
+  // promo + active, and any gap re-promotes from idle. The vectorized
+  // tier scan must not divide the zero-width windows into spurious
+  // residency or misclassify the promotion tier.
+  RadioModel m = RadioModel::nr_cdrx();
+  for (std::size_t tier = 0; tier < m.num_tails; ++tier) {
+    m.tails[tier].duration_ms = 0;
+  }
+  m.validate();
+  IntervalSet transfers;
+  transfers.add(0, 1000);
+  transfers.add(1500, 2500);   // past the (empty) tails: cold again
+  transfers.add(2500, 3000);   // merged with the previous transfer
+  expect_matches_reference(transfers, m, 100000, nullptr, "zero-tails");
+  const RadioAccounting acc = account_transfers(transfers, m, 100000);
+  EXPECT_EQ(acc.tail_dch_ms(), 0);
+  EXPECT_EQ(acc.promotions, 2);
+
+  // Middle tier empty, outer tiers live: the boundary scan must skip
+  // the zero-width tier without charging its promotion.
+  RadioModel hollow = RadioModel::nr_cdrx();
+  hollow.tails[1].duration_ms = 0;
+  hollow.validate();
+  IntervalSet probes;
+  TimeMs t = 0;
+  for (int k = 0; k < 12; ++k) {
+    probes.add(t, t + 400);
+    t += 400 + 100 + 1000 * k;  // gaps sweep across the tier edges
+  }
+  expect_matches_reference(probes, hollow, 200000, nullptr, "hollow-tier");
+}
+
+TEST(AccountColumns, FuzzMatchesReferenceOnRandomTierModels) {
+  std::mt19937_64 rng(20260809);
+  for (int iter = 0; iter < 400; ++iter) {
+    const RadioModel model = random_model(rng);
+    const TimeMs horizon = 50000 + static_cast<TimeMs>(rng() % 200000);
+    const int n = static_cast<int>(rng() % 40);
+    IntervalSet transfers;
+    TimeMs t = static_cast<TimeMs>(rng() % 2000);
+    for (int k = 0; k < n && t < horizon; ++k) {
+      const DurationMs dur = 1 + static_cast<DurationMs>(rng() % 4000);
+      const TimeMs end = std::min<TimeMs>(t + dur, horizon);
+      if (t < end) transfers.add(t, end);
+      t = end + static_cast<TimeMs>(rng() % 25000);
+    }
+    const std::string context = "tier-model iter " + std::to_string(iter);
+    expect_matches_reference(transfers, model, horizon, nullptr, context);
+
+    RadioTimeline timeline(horizon);
+    timeline.allow(transfers);
+    for (const Interval& iv : transfers.intervals()) {
+      timeline.allow(iv.begin, iv.end + static_cast<DurationMs>(
+                                             rng() % 30000));
+    }
+    for (int w = 0; w < 4; ++w) {
+      const TimeMs b = static_cast<TimeMs>(rng() % horizon);
+      timeline.allow(b, b + static_cast<DurationMs>(rng() % 10000));
+    }
+    const IntervalSet allowed = std::move(timeline).build();
+    expect_matches_reference(transfers, model, horizon, &allowed,
                              context + "+allowed");
   }
 }

@@ -64,7 +64,7 @@ LegacyShared legacy_prepare(const std::vector<synth::UserProfile>& profiles,
   shared.traces.resize(n);
   shared.index.resize(n);
   shared.baseline.resize(n);
-  const RadioPowerParams& radio = config.netmaster.profit.radio;
+  const RadioModel& radio = config.netmaster.profit.radio;
   for (std::size_t i = 0; i < n; ++i) {
     shared.traces[i] = make_traces(profiles[i], config);
     shared.index[i] =
@@ -82,7 +82,7 @@ SweepPoint legacy_sweep_point(double x, const LegacyShared& shared,
                               MakePolicy&& make_policy) {
   SweepPoint point;
   point.x = x;
-  const RadioPowerParams& radio = config.netmaster.profit.radio;
+  const RadioModel& radio = config.netmaster.profit.radio;
   for (std::size_t i = 0; i < shared.index.size(); ++i) {
     const sim::SimReport& base = shared.baseline[i];
     const auto p = make_policy();
@@ -149,7 +149,7 @@ std::vector<ThresholdPoint> legacy_threshold_sweep(
     const std::vector<synth::UserProfile>& profiles,
     const std::vector<double>& deltas, const ExperimentConfig& config) {
   const LegacyShared shared = legacy_prepare(profiles, config);
-  const RadioPowerParams& radio = config.netmaster.profit.radio;
+  const RadioModel& radio = config.netmaster.profit.radio;
 
   std::vector<sim::SimReport> oracle_reports(profiles.size());
   for (std::size_t i = 0; i < profiles.size(); ++i) {
@@ -204,7 +204,7 @@ std::vector<AblationRow> legacy_ablation_study(
       {"no-special-apps", true, true, false},
   };
   const LegacyShared shared = legacy_prepare(profiles, config);
-  const RadioPowerParams& radio = config.netmaster.profit.radio;
+  const RadioModel& radio = config.netmaster.profit.radio;
 
   std::vector<AblationRow> rows(std::size(variants));
   for (std::size_t v = 0; v < std::size(variants); ++v) {
@@ -245,7 +245,7 @@ VolunteerComparison legacy_compare_policies(
     const synth::UserProfile& profile, const ExperimentConfig& config) {
   const VolunteerTraces traces = make_traces(profile, config);
   const engine::TraceIndex index(traces.eval);
-  const RadioPowerParams& radio = config.netmaster.profit.radio;
+  const RadioModel& radio = config.netmaster.profit.radio;
 
   VolunteerComparison result;
   result.user = profile.id;
